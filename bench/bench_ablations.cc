@@ -1,0 +1,182 @@
+// Ablations for the design choices DESIGN.md section 6 calls out:
+//
+//   1. Collapse direction: Aurora's reversed collapse (move the shadow's few
+//      pages down) vs FreeBSD's classic collapse (move the parent's pages up).
+//   2. Vnode checkpointing by inode number vs namei-style path resolution.
+//   3. External synchrony on/off: latency cost of holding replies until the
+//      covering checkpoint commits.
+//   4. Shadow-chain cap: eager collapse vs letting chains grow.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/base/rng.h"
+
+namespace aurora {
+namespace {
+
+// --- 1. Collapse direction ----------------------------------------------------
+void CollapseAblation() {
+  PrintHeader("Ablation 1: collapse direction (paper section 6)");
+  std::printf("  %-26s %14s %14s %9s\n", "resident/dirty pages", "classic(us)",
+              "reversed(us)", "speedup");
+  for (auto [resident, dirty] : {std::pair<int, int>{4096, 16}, {16384, 64}, {65536, 256}}) {
+    auto measure = [&](bool reversed) {
+      SimContext sim;
+      VmMap map(&sim);
+      auto obj = VmObject::CreateAnonymous(static_cast<uint64_t>(resident) * 2 * kPageSize);
+      obj->set_sls_oid(1);
+      auto addr = *map.Map(0x1000000, obj->size(), kProtRead | kProtWrite, obj, 0, false);
+      (void)map.DirtyRange(addr, static_cast<uint64_t>(resident) * kPageSize);
+      std::vector<VmMap*> maps{&map};
+      auto pairs1 = CreateSystemShadows(maps, &sim, nullptr, nullptr);
+      (void)map.DirtyRange(addr, static_cast<uint64_t>(dirty) * kPageSize);
+      auto pairs2 = CreateSystemShadows(maps, &sim, nullptr, nullptr);
+      // pairs2.frozen is the flushed incremental; collapse it into the base.
+      SimStopwatch watch(sim.clock);
+      CollapseAfterFlush(pairs2[0], maps, reversed, &sim);
+      return ToMicros(watch.Elapsed());
+    };
+    double classic = measure(false);
+    double reversed = measure(true);
+    std::printf("  %10d/%-13d %14.1f %14.1f %8.1fx\n", resident, dirty, classic, reversed,
+                classic / reversed);
+  }
+  std::printf("  -> reversed collapse cost tracks the dirty set, not the footprint.\n");
+}
+
+// --- 2. Inode refs vs path lookups ---------------------------------------------
+void VnodeLookupAblation() {
+  PrintHeader("Ablation 2: vnode checkpointing by inode vs path (paper section 5.2)");
+  BenchMachine m(2 * kGiB);
+  const int kFiles = 2000;
+  std::vector<uint64_t> inos;
+  for (int i = 0; i < kFiles; i++) {
+    inos.push_back((*m.fs->Create("dir/file-" + std::to_string(i)))->ino());
+  }
+  Rng rng(3);
+  const int kLookups = 500;
+  SimStopwatch by_ino(m.sim.clock);
+  for (int i = 0; i < kLookups; i++) {
+    (void)m.fs->LookupByIno(inos[rng.Below(inos.size())]);
+  }
+  double ino_us = ToMicros(by_ino.Elapsed());
+  SimStopwatch by_path(m.sim.clock);
+  for (int i = 0; i < kLookups; i++) {
+    // namei-style reverse resolution through the name cache.
+    (void)m.fs->PathOfIno(inos[rng.Below(inos.size())]);
+  }
+  double path_us = ToMicros(by_path.Elapsed());
+  std::printf("  %d lookups in a %d-file namespace: inode refs %.0f us, path walks %.0f us "
+              "(%.0fx)\n",
+              kLookups, kFiles, ino_us, path_us, path_us / ino_us);
+}
+
+// --- 3. External synchrony ------------------------------------------------------
+void ExternalSynchronyAblation() {
+  PrintHeader("Ablation 3: external synchrony (held replies vs immediate)");
+  for (bool es : {false, true}) {
+    BenchMachine m(4 * kGiB);
+    Process* proc = *m.kernel->CreateProcess("server");
+    auto obj = VmObject::CreateAnonymous(16 * kMiB);
+    uint64_t addr = *proc->vm().Map(0x400000, 16 * kMiB, kProtRead | kProtWrite, obj, 0, false);
+    ConsistencyGroup* group = *m.sls->CreateGroup("es");
+    (void)m.sls->Attach(group, proc);
+    group->external_sync = es;
+
+    auto listener = std::make_shared<Socket>(SocketDomain::kInet, SocketProto::kTcp);
+    (void)listener->Bind({1, 80, ""});
+    (void)listener->Listen(64);
+    auto client = std::make_shared<Socket>(SocketDomain::kInet, SocketProto::kTcp);
+    (void)client->Bind({2, 5000, ""});
+    auto server_end = *client->ConnectTo(listener);
+
+    LatencyHistogram reply_latency;
+    SimDuration period = 10 * kMillisecond;
+    SimTime next_ckpt = m.sim.clock.now() + period;
+    Rng rng(9);
+    for (int i = 0; i < 20000; i++) {
+      m.sim.clock.Advance(5 * kMicrosecond);  // handle one request
+      uint64_t off = rng.Below(16 * kMiB - 8);
+      uint64_t v = rng.Next();
+      (void)proc->vm().Write(addr + off, &v, sizeof(v));
+      SimTime sent_at = m.sim.clock.now();
+      (void)m.sls->SendExternal(group, server_end, "ok", 2);
+      if (m.sim.clock.now() >= next_ckpt) {
+        auto ckpt = m.sls->Checkpoint(group);
+        next_ckpt = std::max(ckpt->durable_at, m.sim.clock.now() + period);
+      }
+      // Reply visible to the client when it reaches the peer buffer; with
+      // external synchrony that is the next checkpoint commit.
+      if (es) {
+        reply_latency.Record(next_ckpt > sent_at ? next_ckpt - sent_at : 0);
+      } else {
+        reply_latency.Record(0);
+      }
+    }
+    std::printf("  external synchrony %-3s: reply hold avg %8.1f us, p95 %8.1f us\n",
+                es ? "on" : "off", reply_latency.MeanNanos() / 1000.0,
+                ToMicros(reply_latency.Percentile(95)));
+  }
+  std::printf("  -> holding replies costs about half a checkpoint period on average,\n"
+              "     which is why sls_fdctl lets read-only connections opt out.\n");
+}
+
+// --- 4. Shadow chain cap ---------------------------------------------------------
+void ChainCapAblation() {
+  PrintHeader("Ablation 4: eager collapse (chain cap 2) vs unbounded chains");
+  for (bool eager : {true, false}) {
+    SimContext sim;
+    VmMap map(&sim);
+    auto obj = VmObject::CreateAnonymous(4096 * kPageSize);
+    obj->set_sls_oid(7);
+    auto addr = *map.Map(0x1000000, obj->size(), kProtRead | kProtWrite, obj, 0, false);
+    (void)map.DirtyRange(addr, 1024 * kPageSize);
+    std::vector<VmMap*> maps{&map};
+    Rng rng(11);
+    std::vector<ShadowPair> pending;
+    for (int ckpt = 0; ckpt < 40; ckpt++) {
+      if (eager) {
+        for (auto& pair : pending) {
+          CollapseAfterFlush(pair, maps, true, &sim);
+        }
+        pending.clear();
+      }
+      for (int w = 0; w < 64; w++) {
+        uint64_t v = rng.Next();
+        (void)map.Write(addr + rng.Below(1024 * kPageSize - 8), &v, sizeof(v));
+      }
+      auto pairs = CreateSystemShadows(maps, &sim, nullptr, nullptr);
+      for (auto& p : pairs) {
+        pending.push_back(p);
+      }
+    }
+    // Chain depth + read cost through the chain.
+    int depth = 0;
+    for (const VmObject* o = map.entries().begin()->second.object.get(); o != nullptr;
+         o = o->parent()) {
+      depth++;
+    }
+    // Cold faults: translations dropped, as after a migration or restore.
+    map.pmap().InvalidateAll(sim.cost, &sim.clock);
+    SimStopwatch watch(sim.clock);
+    uint64_t v = 0;
+    for (int r = 0; r < 2000; r++) {
+      (void)map.Read(addr + rng.Below(1024 * kPageSize - 8), &v, sizeof(v));
+    }
+    std::printf("  %-18s chain depth %3d, 2000 cold reads take %8.1f us\n",
+                eager ? "eager collapse:" : "unbounded chains:", depth,
+                ToMicros(watch.Elapsed()));
+  }
+  std::printf("  -> unbounded chains make every cold fault walk the whole history.\n");
+}
+
+}  // namespace
+}  // namespace aurora
+
+int main() {
+  aurora::CollapseAblation();
+  aurora::VnodeLookupAblation();
+  aurora::ExternalSynchronyAblation();
+  aurora::ChainCapAblation();
+  return 0;
+}

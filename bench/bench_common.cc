@@ -1,0 +1,87 @@
+#include "bench/bench_common.h"
+
+namespace aurora {
+
+std::vector<Process*> BuildAppProfile(BenchMachine& m, const AppProfile& profile) {
+  std::vector<Process*> procs;
+  Process* root = *m.kernel->CreateProcess(profile.name);
+  procs.push_back(root);
+  for (int p = 1; p < profile.processes; p++) {
+    procs.push_back(*m.kernel->Fork(*root));
+  }
+
+  // Memory: split the RSS across the processes as dirtied anonymous regions.
+  uint64_t per_proc = PageRound(profile.rss_bytes / static_cast<uint64_t>(profile.processes));
+  for (Process* proc : procs) {
+    auto obj = VmObject::CreateAnonymous(per_proc);
+    uint64_t addr =
+        *proc->vm().Map(0x40000000, per_proc, kProtRead | kProtWrite, std::move(obj), 0, false);
+    (void)proc->vm().DirtyRange(addr, per_proc);
+  }
+
+  // Threads beyond the tree's initial ones.
+  int have = static_cast<int>(procs.size());
+  for (int t = have; t < profile.threads; t++) {
+    procs[static_cast<size_t>(t) % procs.size()]->AddThread();
+  }
+
+  // Extra map entries: small anonymous regions (libraries, stacks, arenas).
+  for (Process* proc : procs) {
+    for (int e = 0; e < profile.map_entries; e++) {
+      uint64_t size = kPageSize * (1 + (e % 4));
+      auto obj = VmObject::CreateAnonymous(size);
+      auto addr = proc->vm().Map(0, size, kProtRead | kProtWrite, std::move(obj), 0, true);
+      if (addr.ok() && e % 3 == 0) {
+        (void)proc->vm().DirtyRange(*addr, kPageSize);
+      }
+    }
+  }
+
+  // File descriptors: a realistic mix.
+  for (Process* proc : procs) {
+    for (int f = 0; f < profile.fds; f++) {
+      switch (f % 5) {
+        case 0:
+          (void)m.kernel->Open(*proc, profile.name + "-file" + std::to_string(f), kOpenRead,
+                               true);
+          break;
+        case 1:
+          (void)m.kernel->MakePipe(*proc);
+          break;
+        case 2: {
+          auto fd = m.kernel->MakeSocket(*proc, SocketDomain::kInet, SocketProto::kTcp);
+          if (fd.ok()) {
+            auto desc = proc->fds().Get(*fd);
+            auto* sock = static_cast<Socket*>((*desc)->object.get());
+            (void)sock->Bind({0x7f000001, static_cast<uint16_t>(10000 + f), ""});
+            (void)sock->Listen(16);
+          }
+          break;
+        }
+        case 3:
+          (void)m.kernel->MakeSocket(*proc, SocketDomain::kUnix, SocketProto::kUdp);
+          break;
+        case 4:
+          if (f < 5) {
+            (void)m.kernel->MakePty(*proc);  // a controlling terminal at most
+          } else {
+            (void)m.kernel->MakeSocket(*proc, SocketDomain::kInet, SocketProto::kUdp);
+          }
+          break;
+      }
+    }
+    for (int k = 0; k < profile.kqueues; k++) {
+      auto fd = m.kernel->MakeKqueue(*proc);
+      if (fd.ok()) {
+        auto desc = proc->fds().Get(*fd);
+        auto* kq = static_cast<Kqueue*>((*desc)->object.get());
+        for (int e = 0; e < 64; e++) {
+          kq->Register(KEvent{static_cast<uint64_t>(e), -1, 1, 0, 0, 0});
+        }
+      }
+    }
+  }
+  return procs;
+}
+
+}  // namespace aurora

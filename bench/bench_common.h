@@ -1,0 +1,81 @@
+// Shared benchmark machinery: one simulated machine per benchmark, paper
+// reference values printed alongside measurements, and synthetic process
+// builders (the Table 5/6 application profiles).
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/sim_context.h"
+#include "src/core/cli.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/fs/baseline_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/posix/kernel.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+
+// One simulated machine matching the paper's testbed storage.
+struct BenchMachine {
+  explicit BenchMachine(uint64_t store_bytes = 8 * kGiB, uint32_t store_block = 64 * 1024) {
+    device = MakePaperTestbedStore(&sim.clock, store_bytes);
+    StoreOptions options;
+    options.block_size = store_block;
+    store = *ObjectStore::Format(device.get(), &sim, options);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  SimContext sim;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<AuroraFs> fs;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Sls> sls;
+};
+
+// Synthetic application profile (DESIGN.md section 4): a process tree with a
+// given memory footprint and OS-state complexity.
+struct AppProfile {
+  std::string name;
+  uint64_t rss_bytes = 0;
+  int processes = 1;
+  int threads = 1;          // total across the tree
+  int map_entries = 32;     // per process, beyond the data regions
+  int fds = 16;             // per process, mixed types
+  int kqueues = 1;
+};
+
+// Builds the profile inside `m` and returns the process tree.
+std::vector<Process*> BuildAppProfile(BenchMachine& m, const AppProfile& profile);
+
+// --- Table printing -----------------------------------------------------------
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const char* label, double measured, double paper, const char* unit) {
+  std::printf("  %-34s %12.1f %12.1f  %s\n", label, measured, paper, unit);
+}
+
+inline void PrintRowStr(const char* label, const std::string& measured,
+                        const std::string& paper) {
+  std::printf("  %-34s %12s %12s\n", label, measured.c_str(), paper.c_str());
+}
+
+inline void PrintColumns() {
+  std::printf("  %-34s %12s %12s\n", "", "measured", "paper");
+}
+
+}  // namespace aurora
+
+#endif  // BENCH_BENCH_COMMON_H_

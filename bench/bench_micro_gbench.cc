@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks for Aurora's hot primitives.
+//
+// These measure *host* CPU time of the real data-structure operations (page
+// copies, shadow lookups, serialization, checksums, journal formatting) —
+// complementary to the simulated-time benches, and useful for catching
+// implementation regressions.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/base/checksum.h"
+#include "src/base/serializer.h"
+#include "src/core/serialize.h"
+
+namespace aurora {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xa7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_CowFaultPromotion(benchmark::State& state) {
+  SimContext sim;
+  VmMap map(&sim);
+  auto parent = VmObject::CreateAnonymous(4096 * kPageSize);
+  uint8_t buf[kPageSize] = {1};
+  for (uint64_t i = 0; i < 4096; i++) {
+    parent->InstallPage(i, buf);
+  }
+  uint64_t i = 0;
+  std::shared_ptr<VmObject> shadow;
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    if (i % 4096 == 0) {
+      state.PauseTiming();
+      shadow = VmObject::CreateShadow(parent);
+      map = VmMap(&sim);
+      addr = *map.Map(0x1000000, shadow->size(), kProtRead | kProtWrite, shadow, 0, false);
+      state.ResumeTiming();
+    }
+    uint64_t v = i;
+    benchmark::DoNotOptimize(map.Write(addr + (i % 4096) * kPageSize, &v, sizeof(v)).ok());
+    i++;
+  }
+}
+BENCHMARK(BM_CowFaultPromotion);
+
+void BM_ShadowChainLookup(benchmark::State& state) {
+  auto base = VmObject::CreateAnonymous(1024 * kPageSize);
+  uint8_t buf[kPageSize] = {2};
+  for (uint64_t i = 0; i < 1024; i++) {
+    base->InstallPage(i, buf);
+  }
+  std::shared_ptr<VmObject> top = base;
+  for (int64_t d = 0; d < state.range(0); d++) {
+    top = VmObject::CreateShadow(top);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(top->LookupChain(i % 1024).page);
+    i++;
+  }
+}
+BENCHMARK(BM_ShadowChainLookup)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_SerializeOsState(benchmark::State& state) {
+  BenchMachine m(2 * kGiB);
+  AppProfile profile{"gbench", 8 * kMiB, 1, 4, 64, 32, 1};
+  auto procs = BuildAppProfile(m, profile);
+  ConsistencyGroup* group = *m.sls->CreateGroup("gbench");
+  for (Process* p : procs) {
+    (void)m.sls->Attach(group, p);
+  }
+  auto ensure = [&m](VmObject* obj) {
+    if (obj->sls_oid() == 0) {
+      obj->set_sls_oid((*m.store->CreateObject(ObjType::kMemory, obj->size())).value);
+    }
+    return Oid{obj->sls_oid()};
+  };
+  for (auto _ : state) {
+    SerializeStats stats;
+    auto blob = SerializeOsState(&m.sim, *group, 1, kInvalidOid, ensure, &stats);
+    benchmark::DoNotOptimize(blob.ok());
+  }
+}
+BENCHMARK(BM_SerializeOsState);
+
+void BM_JournalRecordFormat(benchmark::State& state) {
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0x3d);
+  for (auto _ : state) {
+    BinaryWriter w;
+    w.PutU32(0x4155524a);
+    w.PutU64(1);
+    w.PutU64(2);
+    w.PutU64(payload.size());
+    w.PutU32(Crc32c(payload.data(), payload.size()));
+    w.PutRaw(payload.data(), payload.size());
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_JournalRecordFormat)->Arg(4096);
+
+}  // namespace
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Table 4: checkpoint and restore times for individual POSIX objects.
+//
+// Each object type is measured by differencing a process that holds one
+// instance against the same process without it, for both the serialize
+// (checkpoint) and recreate (restore) paths.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "src/core/serialize.h"
+
+namespace aurora {
+namespace {
+
+struct Measurement {
+  double checkpoint_us = 0;
+  double restore_us = 0;
+};
+
+// Measures serialize+restore cost of whatever `install` adds to a process.
+Measurement MeasureDelta(const std::function<void(BenchMachine&, Process*)>& install) {
+  auto run = [&](bool with_object) -> std::pair<double, double> {
+    BenchMachine m(2 * kGiB);
+    Process* proc = *m.kernel->CreateProcess("micro");
+    if (with_object) {
+      install(m, proc);
+    }
+    ConsistencyGroup* group = *m.sls->CreateGroup("micro");
+    (void)m.sls->Attach(group, proc);
+
+    // Serialize-only timing (the Table 4 checkpoint column measures state
+    // gathering, not quiescing or memory flushing).
+    SerializeStats stats;
+    auto ensure = [&m](VmObject* obj) {
+      if (obj->sls_oid() == 0) {
+        auto oid = m.store->CreateObject(ObjType::kMemory, obj->size());
+        obj->set_sls_oid(oid->value);
+      }
+      return Oid{obj->sls_oid()};
+    };
+    SimStopwatch ser(m.sim.clock);
+    auto manifest = SerializeOsState(&m.sim, *group, 1, kInvalidOid, ensure, &stats);
+    double ckpt_us = ToMicros(ser.Elapsed());
+
+    // Restore timing: recreate the objects from the manifest.
+    BenchMachine target(2 * kGiB);
+    auto resolve = [](Oid, uint64_t size) -> Result<ResolvedMemory> {
+      return ResolvedMemory{VmObject::CreateAnonymous(size ? size : kPageSize), false};
+    };
+    SimStopwatch res(target.sim.clock);
+    (void)RestoreOsState(&target.sim, target.kernel.get(), target.fs.get(), *manifest, resolve);
+    double restore_us = ToMicros(res.Elapsed());
+    return {ckpt_us, restore_us};
+  };
+  auto [ckpt_with, rest_with] = run(true);
+  auto [ckpt_without, rest_without] = run(false);
+  return Measurement{ckpt_with - ckpt_without, rest_with - rest_without};
+}
+
+}  // namespace
+}  // namespace aurora
+
+int main() {
+  using namespace aurora;
+  PrintHeader("Table 4: per-POSIX-object checkpoint / restore times (us)");
+  std::printf("  %-28s | %8s %8s | %8s %8s\n", "object", "ckpt", "(paper)", "restore",
+              "(paper)");
+
+  struct Row {
+    const char* name;
+    double paper_ckpt;
+    double paper_restore;
+    std::function<void(BenchMachine&, Process*)> install;
+  };
+  const Row rows[] = {
+      {"Kqueue w/1024 events", 35.2, 2.7,
+       [](BenchMachine& m, Process* p) {
+         auto fd = *m.kernel->MakeKqueue(*p);
+         auto* kq = static_cast<Kqueue*>((*p->fds().Get(fd))->object.get());
+         for (uint64_t e = 0; e < 1024; e++) {
+           kq->Register(KEvent{e, -1, 1, 0, 0, e});
+         }
+       }},
+      {"Pipes", 1.7, 2.6,
+       [](BenchMachine& m, Process* p) { (void)m.kernel->MakePipe(*p); }},
+      {"Pseudoterminals", 3.1, 30.2,
+       [](BenchMachine& m, Process* p) { (void)m.kernel->MakePty(*p); }},
+      {"Shared Memory (POSIX)", 4.5, 3.8,
+       [](BenchMachine& m, Process* p) { (void)m.kernel->ShmOpen(*p, "/seg", 64 * kKiB); }},
+      {"Shared Memory (SysV)", 14.9, 2.8,
+       [](BenchMachine& m, Process* p) { (void)m.kernel->ShmGet(*p, 42, 64 * kKiB); }},
+      {"Sockets", 1.8, 3.6,
+       [](BenchMachine& m, Process* p) {
+         (void)m.kernel->MakeSocket(*p, SocketDomain::kInet, SocketProto::kTcp);
+       }},
+      {"Vnodes", 1.7, 2.0,
+       [](BenchMachine& m, Process* p) {
+         (void)m.kernel->Open(*p, "bench-file", kOpenRead | kOpenWrite, true);
+       }},
+  };
+  for (const Row& row : rows) {
+    Measurement msr = MeasureDelta(row.install);
+    std::printf("  %-28s | %8.1f %8.1f | %8.1f %8.1f\n", row.name, msr.checkpoint_us,
+                row.paper_ckpt, msr.restore_us, row.paper_restore);
+  }
+  std::printf("\nShape checks: SysV > POSIX shm (namespace scan); kqueue scales with events;\n"
+              "pty restore dominated by devfs locking.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Tables 1 and 7: full-checkpoint performance for a 500 MiB Redis instance —
+// Aurora vs CRIU vs Redis's own fork-based RDB snapshots.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/redis_like.h"
+#include "src/baselines/criu_like.h"
+
+int main() {
+  using namespace aurora;
+  constexpr uint64_t kValueSize = 496;  // 512 B slots
+  constexpr uint64_t kKeys = (500 * kMiB) / 512;
+
+  // --- Aurora -----------------------------------------------------------------
+  BenchMachine aurora_machine(8 * kGiB);
+  double aurora_os_ms = 0;
+  double aurora_mem_ms = 0;
+  double aurora_stop_ms = 0;
+  double aurora_io_ms = 0;
+  {
+    BenchMachine& m = aurora_machine;
+    RedisLike redis(&m.sim, m.kernel.get(), kKeys, kValueSize);
+    ConsistencyGroup* g = *m.sls->CreateGroup("redis");
+    (void)m.sls->Attach(g, redis.process());
+    SimTime t0 = m.sim.clock.now();
+    auto ckpt = m.sls->Checkpoint(g, "bench");
+    aurora_stop_ms = ToMillis(ckpt->stop_time);
+    aurora_os_ms = ToMillis(ckpt->os_serialize_time + ckpt->quiesce_time);
+    aurora_mem_ms = ToMillis(ckpt->shadow_time);
+    // IO: asynchronous flush completes at durable_at, measured from resume.
+    SimTime resume_at = t0 + ckpt->stop_time;
+    aurora_io_ms = ckpt->durable_at > resume_at ? ToMillis(ckpt->durable_at - resume_at) : 0;
+  }
+
+  // --- CRIU --------------------------------------------------------------------
+  BenchMachine criu_machine(8 * kGiB);
+  CriuBreakdown criu{};
+  {
+    BenchMachine& m = criu_machine;
+    RedisLike redis(&m.sim, m.kernel.get(), kKeys, kValueSize);
+    CriuLike criu_tool(&m.sim, m.kernel.get(), m.device.get());
+    criu = *criu_tool.Checkpoint({redis.process()});
+  }
+
+  // --- Redis RDB (BGSAVE) --------------------------------------------------------
+  BenchMachine rdb_machine(8 * kGiB);
+  RdbSaveResult rdb{};
+  {
+    BenchMachine& m = rdb_machine;
+    RedisLike redis(&m.sim, m.kernel.get(), kKeys, kValueSize);
+    rdb = *redis.BgSave(m.device.get());
+  }
+
+  PrintHeader("Table 1: CRIU checkpoint breakdown, 500 MB Redis (ms)");
+  PrintColumns();
+  PrintRow("OS State Copy", ToMillis(criu.os_state_time), 49, "ms");
+  PrintRow("Memory Copy", ToMillis(criu.memory_copy_time), 413, "ms");
+  PrintRow("Total Stop Time", ToMillis(criu.total_stop_time), 462, "ms");
+  PrintRow("IO Write", ToMillis(criu.io_write_time), 350, "ms");
+
+  PrintHeader("Table 7: Aurora vs CRIU vs RDB, 500 MiB Redis (ms)");
+  std::printf("  %-18s | %9s %9s | %9s %9s | %9s %9s\n", "", "aurora", "(paper)", "criu",
+              "(paper)", "rdb", "(paper)");
+  std::printf("  %-18s | %9.1f %9.1f | %9.1f %9.1f | %9s %9s\n", "OS state", aurora_os_ms, 0.3,
+              ToMillis(criu.os_state_time), 49.0, "n/a", "n/a");
+  std::printf("  %-18s | %9.1f %9.1f | %9.1f %9.1f | %9s %9s\n", "Memory", aurora_mem_ms, 3.7,
+              ToMillis(criu.memory_copy_time), 413.0, "n/a", "n/a");
+  std::printf("  %-18s | %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f\n", "Total stop", aurora_stop_ms,
+              4.0, ToMillis(criu.total_stop_time), 462.0, ToMillis(rdb.fork_stop_time), 8.0);
+  std::printf("  %-18s | %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f\n", "IO write", aurora_io_ms,
+              97.6, ToMillis(criu.io_write_time), 350.0, ToMillis(rdb.child_save_time), 300.0);
+
+  double stop_speedup = ToMillis(criu.total_stop_time) / aurora_stop_ms;
+  double io_speedup = ToMillis(criu.io_write_time) / aurora_io_ms;
+  std::printf("\nShape checks: Aurora stop-time speedup over CRIU = %.0fx (paper: >100x);\n"
+              "Aurora IO speedup = %.1fx (paper: >3x); RDB stop ~8 ms (fork COW arming).\n",
+              stop_speedup, io_speedup);
+  return 0;
+}

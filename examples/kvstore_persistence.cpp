@@ -1,0 +1,89 @@
+// Aurora API example: the paper's customized key-value store (section 9.6).
+//
+// The store keeps its whole dataset in a VM-resident memtable and replaces
+// 81k lines of LSM persistence machinery with:
+//   - sls_journal appends before acknowledging writes,
+//   - an Aurora checkpoint when the journal fills,
+//   - restore + arena scan + journal replay for recovery.
+//
+// Build & run:  ./build/examples/kvstore_persistence
+#include <cstdio>
+
+#include "src/apps/aurora_kv.h"
+#include "src/base/sim_context.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/storage/block_device.h"
+
+using namespace aurora;
+
+int main() {
+  SimContext sim;
+  auto device = MakePaperTestbedStore(&sim.clock, 2 * kGiB);
+  auto store = *ObjectStore::Format(device.get(), &sim);
+  AuroraFs fs(&sim, store.get());
+  Kernel kernel(&sim);
+  Sls sls(&sim, &kernel, store.get(), &fs);
+
+  Process* proc = *kernel.CreateProcess("kvstore");
+  ConsistencyGroup* group = *sls.CreateGroup("kvstore");
+  (void)sls.Attach(group, proc);
+
+  AuroraKvOptions options;
+  options.memtable_bytes = 64 * kMiB;
+  options.journal_bytes = 4 * kMiB;
+  options.group_commit_batch = 1;  // persist every write individually here
+  AuroraKv db(&sls, group, proc, options);
+
+  // Write some durable state. Each Put is journaled synchronously (~28 us
+  // for small records), so an acknowledged write is never lost.
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "user:" + std::to_string(i);
+    std::string value = "profile-data-" + std::to_string(i * 7);
+    if (!db.Put(key, value).ok()) {
+      std::printf("put failed\n");
+      return 1;
+    }
+  }
+  std::printf("1000 writes journaled; journal appends: %llu, checkpoints: %llu\n",
+              static_cast<unsigned long long>(db.stats().journal_appends),
+              static_cast<unsigned long long>(db.stats().checkpoints));
+
+  // Take a checkpoint (captures the memtable as plain memory) and reset the
+  // journal — the WAL-full path does this automatically.
+  auto ckpt = *sls.Checkpoint(group, "manual");
+  sim.clock.AdvanceTo(ckpt.durable_at);
+  (void)sls.JournalReset(db.journal());
+
+  // More writes after the checkpoint: these live only in the journal.
+  for (int i = 1000; i < 1100; i++) {
+    (void)db.Put("user:" + std::to_string(i), "post-checkpoint");
+  }
+
+  // --- Crash ------------------------------------------------------------------
+  auto recovered_store = *ObjectStore::Open(device.get(), &sim);
+  AuroraFs recovered_fs(&sim, recovered_store.get());
+  Kernel recovered_kernel(&sim);
+  Sls recovered_sls(&sim, &recovered_kernel, recovered_store.get(), &recovered_fs);
+
+  auto restored = *recovered_sls.Restore("kvstore");
+  // The paper's restore handler: reattach to the restored arenas, rebuild
+  // the index by scanning them, then replay journal records newer than the
+  // checkpoint.
+  auto recovered = AuroraKv::Reattach(&recovered_sls, restored.group,
+                                      restored.group->processes[0], options, db.arena_addr(),
+                                      db.node_addr(), db.journal());
+  if (!recovered.ok()) {
+    std::printf("recovery failed: %s\n", recovered.status().ToString().c_str());
+    return 1;
+  }
+  AuroraKv& recovered_db = **recovered;
+
+  auto before = *recovered_db.Get("user:42");
+  auto after = *recovered_db.Get("user:1050");
+  std::printf("after crash: user:42 -> %s\n",
+              before.has_value() ? before->c_str() : "(missing!)");
+  std::printf("after crash: user:1050 -> %s (was only in the journal)\n",
+              after.has_value() ? after->c_str() : "(missing!)");
+  return before.has_value() && after.has_value() ? 0 : 1;
+}

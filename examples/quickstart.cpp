@@ -1,0 +1,70 @@
+// Quickstart: transparent persistence in ~60 lines.
+//
+// A counter "application" runs on the simulated machine, gets attached to
+// the single level store, and survives a power failure with at most one
+// checkpoint period of lost work — with zero persistence code of its own.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/base/sim_context.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/storage/block_device.h"
+
+using namespace aurora;
+
+int main() {
+  // One simulated machine: 4 NVMe devices striped at 64 KiB, an object
+  // store, the Aurora file system and the SLS orchestrator.
+  SimContext sim;
+  auto device = MakePaperTestbedStore(&sim.clock, 1 * kGiB);
+  auto store = *ObjectStore::Format(device.get(), &sim);
+  AuroraFs fs(&sim, store.get());
+  Kernel kernel(&sim);
+  Sls sls(&sim, &kernel, store.get(), &fs);
+
+  // The application: a process with a counter in plain anonymous memory.
+  Process* app = *kernel.CreateProcess("counter");
+  auto memory = VmObject::CreateAnonymous(1 * kMiB);
+  uint64_t addr = *app->vm().Map(0x400000, 1 * kMiB, kProtRead | kProtWrite, memory, 0, false);
+
+  // `sls attach`: the app now checkpoints 100x per second.
+  ConsistencyGroup* group = *sls.CreateGroup("counter");
+  (void)sls.Attach(group, app);
+
+  // The app counts; Aurora checkpoints every 10 ms.
+  uint64_t counter = 0;
+  SimTime next_ckpt = sim.clock.now() + group->period;
+  for (int step = 0; step < 100000; step++) {
+    counter++;
+    (void)app->vm().Write(addr, &counter, sizeof(counter));
+    sim.clock.Advance(2 * kMicrosecond);  // "work"
+    if (sim.clock.now() >= next_ckpt) {
+      auto ckpt = *sls.Checkpoint(group);
+      next_ckpt = std::max(ckpt.durable_at, sim.clock.now() + group->period);
+    }
+  }
+  std::printf("counter reached %llu; last checkpoint at most 10 ms ago\n",
+              static_cast<unsigned long long>(counter));
+
+  // --- Power failure ---------------------------------------------------------
+  // Everything volatile disappears; only the device contents survive.
+  auto recovered_store = *ObjectStore::Open(device.get(), &sim);
+  AuroraFs recovered_fs(&sim, recovered_store.get());
+  Kernel recovered_kernel(&sim);
+  Sls recovered_sls(&sim, &recovered_kernel, recovered_store.get(), &recovered_fs);
+
+  auto restored = *recovered_sls.Restore("counter");
+  Process* rapp = restored.group->processes[0];
+  uint64_t recovered_counter = 0;
+  (void)rapp->vm().Read(addr, &recovered_counter, sizeof(recovered_counter));
+
+  std::printf("after crash+restore: counter = %llu (lost %llu increments, <= one period)\n",
+              static_cast<unsigned long long>(recovered_counter),
+              static_cast<unsigned long long>(counter - recovered_counter));
+  std::printf("restore took %.2f ms; the process resumes as if nothing happened\n",
+              ToMillis(restored.restore_time));
+  return recovered_counter > 0 && recovered_counter <= counter ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// The Aurora-customized key-value store (paper section 9.6).
+//
+// The paper's modified RocksDB deletes the entire LSM tree (81 kSLOC of
+// persistence code) and keeps only the memtable, persisted by Aurora:
+//   * every Put appends to an sls_journal write-ahead record and inserts
+//     into the VM-resident memtable;
+//   * when the journal fills, the store triggers a full Aurora checkpoint
+//     (which captures the memtable as plain memory) and resets the journal;
+//   * recovery = Aurora restore + arena index rebuild + journal replay.
+// The replacement below is 109-lines-of-logic small, like the paper's.
+#ifndef SRC_APPS_AURORA_KV_H_
+#define SRC_APPS_AURORA_KV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/apps/memtable.h"
+#include "src/base/result.h"
+#include "src/core/sls.h"
+
+namespace aurora {
+
+struct AuroraKvOptions {
+  uint64_t memtable_bytes = 1 * kGiB;  // sized to hold the whole database
+  uint64_t journal_bytes = 64 * kMiB;
+  bool journal_sync = true;     // persist each Put before acknowledging
+  int group_commit_batch = 32;  // Puts amortized per synchronous append
+};
+
+struct AuroraKvStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t journal_appends = 0;
+  uint64_t checkpoints = 0;
+  SimDuration last_checkpoint_wait = 0;
+};
+
+class AuroraKv {
+ public:
+  AuroraKv(Sls* sls, ConsistencyGroup* group, Process* proc, AuroraKvOptions options);
+
+  // Recovery path: reattach to a *restored* process whose arenas are already
+  // mapped (at the addresses reported by arena_addr()/node_addr()) and whose
+  // journal already exists. Rebuilds the index and replays the journal.
+  static Result<std::unique_ptr<AuroraKv>> Reattach(Sls* sls, ConsistencyGroup* group,
+                                                    Process* proc, AuroraKvOptions options,
+                                                    uint64_t arena_addr, uint64_t node_addr,
+                                                    Oid journal);
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::optional<std::string>> Get(std::string_view key);
+
+  // Post-restore fixup: rebuild the memtable index from the restored arena,
+  // then replay journal records newer than the checkpoint.
+  Status Recover(Process* restored_proc);
+
+  const AuroraKvStats& stats() const { return stats_; }
+  MemTable& memtable() { return *memtable_; }
+  Oid journal() const { return journal_; }
+  uint64_t arena_addr() const { return arena_addr_; }
+  uint64_t node_addr() const { return node_addr_; }
+
+ private:
+  AuroraKv() = default;
+  Status AppendToJournal(std::string_view key, std::string_view value);
+
+  Sls* sls_ = nullptr;
+  ConsistencyGroup* group_ = nullptr;
+  Process* proc_ = nullptr;
+  AuroraKvOptions options_;
+  uint64_t arena_addr_ = 0;
+  uint64_t node_addr_ = 0;
+  std::unique_ptr<MemTable> memtable_;
+  Oid journal_;
+  uint64_t journal_used_ = 0;
+  std::vector<uint8_t> pending_batch_;
+  int batched_ = 0;
+  AuroraKvStats stats_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_AURORA_KV_H_

@@ -1,0 +1,72 @@
+#include "src/apps/kv_server.h"
+
+#include <cstring>
+#include <vector>
+
+namespace aurora {
+
+KvServer::KvServer(SimContext* sim, Kernel* kernel, KvServerConfig config)
+    : sim_(sim), kernel_(kernel), config_(config) {
+  proc_ = *kernel_->CreateProcess("memcached");
+  for (int i = 1; i < config_.worker_threads; i++) {
+    proc_->AddThread();
+  }
+  // Hash table: one 64-byte bucket per key (open addressing, 1:1 sizing).
+  uint64_t table_bytes = PageRound(config_.num_keys * 64);
+  auto table = VmObject::CreateAnonymous(table_bytes);
+  table_base_ = *proc_->vm().Map(0x100000000ull, table_bytes, kProtRead | kProtWrite,
+                                 std::move(table), 0, false);
+  // Slabs: item header (64 B: LRU links, refcount, cas, flags) + value.
+  item_size_ = 64 + config_.value_size;
+  uint64_t slab_bytes = PageRound(config_.num_keys * item_size_);
+  auto slab = VmObject::CreateAnonymous(slab_bytes);
+  slab_base_ = *proc_->vm().Map(0x200000000ull, slab_bytes, kProtRead | kProtWrite,
+                                std::move(slab), 0, false);
+}
+
+uint64_t KvServer::BucketAddr(uint64_t key) const {
+  uint64_t h = key * 0x9e3779b97f4a7c15ull;
+  return table_base_ + (h % config_.num_keys) * 64;
+}
+
+uint64_t KvServer::ItemAddr(uint64_t key) const {
+  return slab_base_ + (key % config_.num_keys) * item_size_;
+}
+
+Status KvServer::Warmup() {
+  std::vector<uint8_t> item(item_size_, 0x11);
+  for (uint64_t k = 0; k < config_.num_keys; k++) {
+    AURORA_RETURN_IF_ERROR(proc_->vm().Write(ItemAddr(k), item.data(), item.size()));
+    uint64_t ptr = ItemAddr(k);
+    AURORA_RETURN_IF_ERROR(proc_->vm().Write(BucketAddr(k), &ptr, sizeof(ptr)));
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> KvServer::ExecuteGet(uint64_t key) {
+  SimStopwatch watch(sim_->clock);
+  sim_->clock.Advance(config_.op_cpu);
+  // Bucket probe.
+  uint64_t ptr = 0;
+  AURORA_RETURN_IF_ERROR(proc_->vm().Read(BucketAddr(key), &ptr, sizeof(ptr)));
+  // Read the value...
+  uint8_t value_head[16];
+  AURORA_RETURN_IF_ERROR(proc_->vm().Read(ItemAddr(key) + 64, value_head, sizeof(value_head)));
+  // ...and, crucially, *write* the item header: LRU bump + refcount. This is
+  // why GET-heavy memcached still dirties pages at its op rate.
+  uint64_t lru_stamp = sim_->clock.now();
+  AURORA_RETURN_IF_ERROR(proc_->vm().Write(ItemAddr(key) + 8, &lru_stamp, sizeof(lru_stamp)));
+  return watch.Elapsed();
+}
+
+Result<SimDuration> KvServer::ExecuteSet(uint64_t key, uint8_t fill) {
+  SimStopwatch watch(sim_->clock);
+  sim_->clock.Advance(config_.op_cpu);
+  std::vector<uint8_t> value(config_.value_size, fill);
+  AURORA_RETURN_IF_ERROR(proc_->vm().Write(ItemAddr(key) + 64, value.data(), value.size()));
+  uint64_t ptr = ItemAddr(key);
+  AURORA_RETURN_IF_ERROR(proc_->vm().Write(BucketAddr(key), &ptr, sizeof(ptr)));
+  return watch.Elapsed();
+}
+
+}  // namespace aurora

@@ -1,0 +1,58 @@
+// Memcached-like key-value server for the Fig. 4/5 transparent-persistence
+// benchmarks.
+//
+// The hash table, the item slabs and the LRU metadata all live in simulated
+// process memory, so every GET really dirties the item header (LRU bump and
+// reference counts — the reason memcached's dirty rate tracks its op rate)
+// and every SET dirties the value bytes. Handlers return the operation's
+// service time; the discrete-event benchmark supplies queueing and
+// concurrency around them.
+#ifndef SRC_APPS_KV_SERVER_H_
+#define SRC_APPS_KV_SERVER_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/posix/kernel.h"
+
+namespace aurora {
+
+struct KvServerConfig {
+  uint64_t num_keys = 4 << 20;
+  uint64_t value_size = 200;       // ETC-style small values
+  int worker_threads = 12;
+  SimDuration op_cpu = 11 * kMicrosecond;  // protocol parse + hash + reply
+};
+
+class KvServer {
+ public:
+  KvServer(SimContext* sim, Kernel* kernel, KvServerConfig config);
+
+  Process* process() { return proc_; }
+  const KvServerConfig& config() const { return config_; }
+
+  // Executes one operation's memory traffic and CPU work against the
+  // simulated clock; returns the elapsed service time.
+  Result<SimDuration> ExecuteGet(uint64_t key);
+  Result<SimDuration> ExecuteSet(uint64_t key, uint8_t fill);
+
+  // Pre-faults the working set like a warmed server.
+  Status Warmup();
+
+ private:
+  uint64_t BucketAddr(uint64_t key) const;
+  uint64_t ItemAddr(uint64_t key) const;
+
+  SimContext* sim_;
+  Kernel* kernel_;
+  KvServerConfig config_;
+  Process* proc_;
+  uint64_t table_base_ = 0;
+  uint64_t slab_base_ = 0;
+  uint64_t item_size_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_KV_SERVER_H_

@@ -1,0 +1,103 @@
+// The mini-LSM database: the unmodified-RocksDB stand-in for Fig. 6.
+//
+// Standard architecture: WAL (file append + optional fsync per commit) →
+// memtable (VM arena) → L0 SSTables on flush → leveled compaction. All I/O
+// goes through a Filesystem, so the cost profile is the file system's real
+// write path plus the LSM's own serialization and merge work.
+#ifndef SRC_APPS_LSM_DB_H_
+#define SRC_APPS_LSM_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/apps/memtable.h"
+#include "src/apps/sstable.h"
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/posix/kernel.h"
+
+namespace aurora {
+
+struct LsmOptions {
+  uint64_t memtable_bytes = 64 * kMiB;
+  bool wal_enabled = true;
+  bool wal_sync = false;        // fsync each commit (the paper's "Sync" mode)
+  int group_commit_batch = 32;  // commits amortized per fsync
+  // max_total_wal_size: when the WAL exceeds this, RocksDB force-flushes the
+  // active memtable (the whole thing) and truncates the WAL.
+  uint64_t wal_flush_trigger = 3 * kMiB;
+  int l0_compaction_trigger = 4;
+  int max_levels = 4;
+  uint64_t level0_bytes = 256 * kMiB;
+  double level_multiplier = 10.0;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t sst_reads = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_compacted = 0;
+  uint64_t wal_syncs = 0;
+};
+
+class LsmDb {
+ public:
+  LsmDb(SimContext* sim, Kernel* kernel, Filesystem* fs, LsmOptions options);
+
+  Process* process() { return proc_; }
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::optional<std::string>> Get(std::string_view key);
+  // Range scan of up to `limit` entries starting at `start` (Prefix_dist's
+  // seek operation). Returns the number of entries visited.
+  Result<uint64_t> Seek(std::string_view start, uint64_t limit);
+
+  // Crash recovery: replay the WAL into a fresh memtable.
+  Status Recover();
+
+  const LsmStats& stats() const { return stats_; }
+  uint64_t memtable_bytes() const { return memtable_->bytes_used(); }
+  size_t sstable_count() const;
+
+ private:
+  struct TableHandle {
+    std::string path;
+    std::unique_ptr<SstableReader> reader;
+  };
+
+  Status WalAppend(std::string_view key, std::string_view value);
+  Status FlushMemTable();
+  Status MaybeCompact();
+  Status CompactLevel(size_t level);
+  uint64_t LevelBytes(size_t level) const;
+
+  SimContext* sim_;
+  Kernel* kernel_;
+  Filesystem* fs_;
+  LsmOptions options_;
+  Process* proc_;
+  std::unique_ptr<MemTable> memtable_;
+  uint64_t arena_addr_ = 0;
+
+  std::shared_ptr<Vnode> wal_;
+  uint64_t wal_off_ = 0;
+  int commits_since_sync_ = 0;
+
+  // levels_[0] = newest-first L0 (overlapping); deeper levels sorted runs.
+  std::vector<std::vector<TableHandle>> levels_;
+  std::vector<uint64_t> level_bytes_;
+  uint64_t next_file_seq_ = 1;
+
+  LsmStats stats_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_LSM_DB_H_

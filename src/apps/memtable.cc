@@ -1,0 +1,98 @@
+#include "src/apps/memtable.h"
+
+#include <cstring>
+#include <vector>
+
+namespace aurora {
+
+MemTable::MemTable(SimContext* sim, VmMap* vm, uint64_t arena_addr, uint64_t arena_bytes)
+    : sim_(sim), vm_(vm), arena_addr_(arena_addr), arena_bytes_(arena_bytes) {}
+
+Status MemTable::Put(std::string_view key, std::string_view value) {
+  uint64_t need = kRecordHeader + key.size() + value.size();
+  if (write_off_ + need + 4 > arena_bytes_) {
+    return Status::Error(Errc::kNoSpace, "memtable arena full");
+  }
+  uint64_t rec = arena_addr_ + write_off_;
+  uint32_t klen = static_cast<uint32_t>(key.size());
+  uint32_t vlen = static_cast<uint32_t>(value.size());
+  AURORA_RETURN_IF_ERROR(vm_->Write(rec, &klen, 4));
+  AURORA_RETURN_IF_ERROR(vm_->Write(rec + 4, &vlen, 4));
+  AURORA_RETURN_IF_ERROR(vm_->Write(rec + 8, key.data(), key.size()));
+  AURORA_RETURN_IF_ERROR(vm_->Write(rec + 8 + key.size(), value.data(), value.size()));
+  // Zero sentinel after the record marks the scan end for recovery.
+  uint32_t zero = 0;
+  AURORA_RETURN_IF_ERROR(vm_->Write(rec + need, &zero, 4));
+  // Skiplist insert: a handful of pointer-chasing levels, plus the node
+  // itself written into process memory (visible to checkpoints).
+  sim_->clock.Advance(sim_->cost.cacheline_miss * 4 + sim_->cost.lock_acquire);
+  if (node_bytes_ > 0) {
+    // The new node plus the predecessor nodes whose forward pointers are
+    // rewritten at each skiplist level the insert touches.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : key) {
+      h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    }
+    for (int level = 0; level < 3; level++) {
+      uint64_t slot = (h % (node_bytes_ / 64)) * 64;
+      uint8_t node[64] = {};
+      std::memcpy(node, &rec, sizeof(rec));
+      AURORA_RETURN_IF_ERROR(vm_->Write(node_addr_ + slot, node, sizeof(node)));
+      h = h * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull;
+    }
+  }
+  index_[std::string(key)] = {write_off_ + 8 + key.size(), vlen};
+  write_off_ += need;
+  return Status::Ok();
+}
+
+std::optional<std::string> MemTable::Get(std::string_view key) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  sim_->clock.Advance(sim_->cost.cacheline_miss * 4);
+  auto value = ReadValueAt(it->second.first, it->second.second);
+  if (!value.ok()) {
+    return std::nullopt;
+  }
+  return *value;
+}
+
+Result<std::string> MemTable::ReadValueAt(uint64_t value_off, uint32_t value_len) {
+  std::string out(value_len, '\0');
+  AURORA_RETURN_IF_ERROR(vm_->Read(arena_addr_ + value_off, out.data(), value_len));
+  return out;
+}
+
+void MemTable::Clear() {
+  index_.clear();
+  write_off_ = 0;
+  uint32_t zero = 0;
+  (void)vm_->Write(arena_addr_, &zero, 4);
+}
+
+Status MemTable::RecoverFromArena() {
+  index_.clear();
+  write_off_ = 0;
+  while (write_off_ + kRecordHeader < arena_bytes_) {
+    uint64_t rec = arena_addr_ + write_off_;
+    uint32_t klen = 0;
+    uint32_t vlen = 0;
+    AURORA_RETURN_IF_ERROR(vm_->Read(rec, &klen, 4));
+    if (klen == 0) {
+      break;  // sentinel: end of log
+    }
+    AURORA_RETURN_IF_ERROR(vm_->Read(rec + 4, &vlen, 4));
+    if (write_off_ + kRecordHeader + klen + vlen > arena_bytes_) {
+      return Status::Error(Errc::kCorrupt, "arena record overruns arena");
+    }
+    std::string key(klen, '\0');
+    AURORA_RETURN_IF_ERROR(vm_->Read(rec + 8, key.data(), klen));
+    index_[key] = {write_off_ + 8 + klen, vlen};
+    write_off_ += kRecordHeader + klen + vlen;
+  }
+  return Status::Ok();
+}
+
+}  // namespace aurora

@@ -1,0 +1,71 @@
+// LSM memtable whose record arena lives in simulated process memory.
+//
+// Records are appended to a VM-mapped arena (so Aurora checkpoints capture
+// the table as plain memory) with a host-side ordered index for lookups.
+// After an Aurora restore the index is rebuilt by scanning the arena —
+// exactly the "fix up runtime state" step the paper's customized RocksDB
+// performs in its restore signal handler.
+#ifndef SRC_APPS_MEMTABLE_H_
+#define SRC_APPS_MEMTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/vm/vm_map.h"
+
+namespace aurora {
+
+class MemTable {
+ public:
+  // The arena occupies [arena_addr, arena_addr + arena_bytes) in `vm`.
+  MemTable(SimContext* sim, VmMap* vm, uint64_t arena_addr, uint64_t arena_bytes);
+
+  // Optional: place skiplist index nodes in VM too (real stores keep them
+  // in process memory, so checkpoints see their dirtying). Nodes are
+  // rebuilt by RecoverFromArena, never read back.
+  void AttachNodeArena(uint64_t node_addr, uint64_t node_bytes) {
+    node_addr_ = node_addr;
+    node_bytes_ = node_bytes;
+  }
+
+  Status Put(std::string_view key, std::string_view value);
+  std::optional<std::string> Get(std::string_view key);
+  // Ordered iteration for flush/compaction.
+  const std::map<std::string, std::pair<uint64_t, uint32_t>>& index() const { return index_; }
+  Result<std::string> ReadValueAt(uint64_t value_off, uint32_t value_len);
+
+  uint64_t bytes_used() const { return write_off_; }
+  uint64_t capacity() const { return arena_bytes_; }
+  size_t entry_count() const { return index_.size(); }
+  bool Full(uint64_t incoming_bytes) const {
+    return write_off_ + incoming_bytes + kRecordHeader + 1 > arena_bytes_;
+  }
+
+  // Discards all entries (after a flush) — the arena restarts from zero.
+  void Clear();
+
+  // Rebuilds the index by scanning the arena records (post-restore fixup).
+  Status RecoverFromArena();
+
+ private:
+  static constexpr uint64_t kRecordHeader = 8;  // klen u32 + vlen u32
+
+  SimContext* sim_;
+  VmMap* vm_;
+  uint64_t arena_addr_;
+  uint64_t arena_bytes_;
+  uint64_t write_off_ = 0;
+  uint64_t node_addr_ = 0;
+  uint64_t node_bytes_ = 0;
+  // key -> (value offset in arena, value length)
+  std::map<std::string, std::pair<uint64_t, uint32_t>> index_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_MEMTABLE_H_

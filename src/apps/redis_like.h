@@ -1,0 +1,57 @@
+// Redis-like in-memory key-value store with a fork-based RDB snapshotter.
+//
+// The dataset lives in the process's simulated VM (so checkpoints, forks and
+// CRIU dumps all see real pages). BGSAVE reproduces Redis's mechanism: fork
+// the process (paying fork's per-page COW arming, the 8 ms stop of Table 7),
+// then have the child walk the live dictionary, serialize every key/value
+// pair, and write the RDB file.
+#ifndef SRC_APPS_REDIS_LIKE_H_
+#define SRC_APPS_REDIS_LIKE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/posix/kernel.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+
+struct RdbSaveResult {
+  SimDuration fork_stop_time = 0;   // parent pause while fork arms COW
+  SimDuration child_save_time = 0;  // serialize + write in the child
+  uint64_t rdb_bytes = 0;
+};
+
+class RedisLike {
+ public:
+  // `value_size` bytes per value; keys are fixed 16-byte strings.
+  RedisLike(SimContext* sim, Kernel* kernel, uint64_t num_keys, uint64_t value_size);
+
+  Process* process() { return proc_; }
+  uint64_t dataset_bytes() const { return num_keys_ * slot_size_; }
+
+  // SET key i (dirties the slot's pages through the VM).
+  Status Set(uint64_t key, uint8_t fill);
+  // GET key i (faults pages in as needed). Returns the first value byte.
+  Result<uint8_t> Get(uint64_t key);
+
+  // BGSAVE: fork-based snapshot onto `device`.
+  Result<RdbSaveResult> BgSave(BlockDevice* device);
+
+ private:
+  uint64_t SlotAddr(uint64_t key) const { return base_ + key * slot_size_; }
+
+  SimContext* sim_;
+  Kernel* kernel_;
+  Process* proc_;
+  uint64_t num_keys_;
+  uint64_t value_size_;
+  uint64_t slot_size_;
+  uint64_t base_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_REDIS_LIKE_H_

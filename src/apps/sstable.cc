@@ -1,0 +1,232 @@
+#include "src/apps/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "src/base/serializer.h"
+
+namespace aurora {
+
+namespace {
+constexpr uint32_t kSstMagic = 0x53535431;  // "SST1"
+}
+
+uint64_t SstKeyHash(std::string_view key) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+void BloomAdd(std::vector<uint8_t>* bits, uint64_t key_hash) {
+  uint64_t nbits = bits->size() * 8;
+  if (nbits == 0) {
+    return;
+  }
+  uint64_t h = key_hash;
+  for (int i = 0; i < 3; i++) {
+    uint64_t bit = h % nbits;
+    (*bits)[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    h = h * 0x9e3779b97f4a7c15ull + 1;
+  }
+}
+
+bool BloomMayContain(const std::vector<uint8_t>& bits, uint64_t key_hash) {
+  uint64_t nbits = bits.size() * 8;
+  if (nbits == 0) {
+    return true;
+  }
+  uint64_t h = key_hash;
+  for (int i = 0; i < 3; i++) {
+    uint64_t bit = h % nbits;
+    if ((bits[bit / 8] & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+    h = h * 0x9e3779b97f4a7c15ull + 1;
+  }
+  return true;
+}
+
+SstableWriter::SstableWriter(SimContext* sim, std::shared_ptr<Vnode> file)
+    : sim_(sim), file_(std::move(file)) {}
+
+Status SstableWriter::Add(std::string_view key, std::string_view value) {
+  if (entries_ > 0 && std::string(key) <= last_key_) {
+    return Status::Error(Errc::kInvalidArgument, "keys must be added in order");
+  }
+  if (block_.empty()) {
+    index_.push_back(IndexEntry{std::string(key), file_off_, 0});
+  }
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(key.size()));
+  w.PutU32(static_cast<uint32_t>(value.size()));
+  w.PutRaw(key.data(), key.size());
+  w.PutRaw(value.data(), value.size());
+  block_.insert(block_.end(), w.data().begin(), w.data().end());
+  key_hashes_.push_back(SstKeyHash(key));
+  last_key_ = std::string(key);
+  entries_++;
+  sim_->clock.Advance(sim_->cost.Serialize(8 + key.size() + value.size()));
+  if (block_.size() >= kBlockTarget) {
+    return FlushBlock();
+  }
+  return Status::Ok();
+}
+
+Status SstableWriter::FlushBlock() {
+  if (block_.empty()) {
+    return Status::Ok();
+  }
+  index_.back().length = static_cast<uint32_t>(block_.size());
+  AURORA_RETURN_IF_ERROR(file_->Write(file_off_, block_.data(), block_.size()).status());
+  file_off_ += block_.size();
+  block_.clear();
+  return Status::Ok();
+}
+
+Result<uint64_t> SstableWriter::Finish() {
+  AURORA_RETURN_IF_ERROR(FlushBlock());
+  // Index.
+  BinaryWriter idx;
+  idx.PutU64(index_.size());
+  for (const IndexEntry& e : index_) {
+    idx.PutString(e.first_key);
+    idx.PutU64(e.offset);
+    idx.PutU32(e.length);
+  }
+  uint64_t index_off = file_off_;
+  AURORA_RETURN_IF_ERROR(file_->Write(file_off_, idx.data().data(), idx.size()).status());
+  file_off_ += idx.size();
+  // Bloom: ~10 bits per key.
+  std::vector<uint8_t> bloom((key_hashes_.size() * 10 + 7) / 8 + 8, 0);
+  for (uint64_t h : key_hashes_) {
+    BloomAdd(&bloom, h);
+  }
+  uint64_t bloom_off = file_off_;
+  AURORA_RETURN_IF_ERROR(file_->Write(file_off_, bloom.data(), bloom.size()).status());
+  file_off_ += bloom.size();
+  // Footer (fixed size at the tail).
+  BinaryWriter foot;
+  foot.PutU64(index_off);
+  foot.PutU64(idx.size());
+  foot.PutU64(bloom_off);
+  foot.PutU64(bloom.size());
+  foot.PutU64(entries_);
+  foot.PutU32(kSstMagic);
+  AURORA_RETURN_IF_ERROR(file_->Write(file_off_, foot.data().data(), foot.size()).status());
+  file_off_ += foot.size();
+  return file_off_;
+}
+
+Result<std::vector<uint8_t>> SstableReader::ReadRange(uint64_t off, uint64_t len) {
+  std::vector<uint8_t> buf(len);
+  AURORA_ASSIGN_OR_RETURN(uint64_t n, file_->Read(off, buf.data(), len));
+  if (n != len) {
+    return Status::Error(Errc::kCorrupt, "short sstable read");
+  }
+  return buf;
+}
+
+Result<std::unique_ptr<SstableReader>> SstableReader::Open(SimContext* sim,
+                                                           std::shared_ptr<Vnode> file) {
+  auto reader = std::unique_ptr<SstableReader>(new SstableReader(sim, std::move(file)));
+  uint64_t size = reader->file_->size();
+  constexpr uint64_t kFooter = 8 * 5 + 4;
+  if (size < kFooter) {
+    return Status::Error(Errc::kCorrupt, "sstable too small");
+  }
+  AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> foot, reader->ReadRange(size - kFooter, kFooter));
+  BinaryReader fr(foot);
+  AURORA_ASSIGN_OR_RETURN(uint64_t index_off, fr.U64());
+  AURORA_ASSIGN_OR_RETURN(uint64_t index_len, fr.U64());
+  AURORA_ASSIGN_OR_RETURN(uint64_t bloom_off, fr.U64());
+  AURORA_ASSIGN_OR_RETURN(uint64_t bloom_len, fr.U64());
+  AURORA_ASSIGN_OR_RETURN(reader->entries_, fr.U64());
+  AURORA_ASSIGN_OR_RETURN(uint32_t magic, fr.U32());
+  if (magic != kSstMagic) {
+    return Status::Error(Errc::kCorrupt, "bad sstable magic");
+  }
+  AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> idx, reader->ReadRange(index_off, index_len));
+  BinaryReader ir(idx);
+  AURORA_ASSIGN_OR_RETURN(uint64_t nblocks, ir.U64());
+  for (uint64_t i = 0; i < nblocks; i++) {
+    IndexEntry e;
+    AURORA_ASSIGN_OR_RETURN(e.first_key, ir.String());
+    AURORA_ASSIGN_OR_RETURN(e.offset, ir.U64());
+    AURORA_ASSIGN_OR_RETURN(e.length, ir.U32());
+    reader->index_.push_back(std::move(e));
+  }
+  AURORA_ASSIGN_OR_RETURN(reader->bloom_, reader->ReadRange(bloom_off, bloom_len));
+  if (!reader->index_.empty()) {
+    reader->smallest_ = reader->index_.front().first_key;
+  }
+  // Largest key: scan the last block.
+  if (!reader->index_.empty()) {
+    const IndexEntry& last = reader->index_.back();
+    AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> blk, reader->ReadRange(last.offset, last.length));
+    BinaryReader br(blk);
+    while (br.Remaining() > 0) {
+      AURORA_ASSIGN_OR_RETURN(uint32_t klen, br.U32());
+      AURORA_ASSIGN_OR_RETURN(uint32_t vlen, br.U32());
+      std::string key(klen, '\0');
+      AURORA_RETURN_IF_ERROR(br.Raw(key.data(), klen));
+      std::vector<uint8_t> skip(vlen);
+      AURORA_RETURN_IF_ERROR(br.Raw(skip.data(), vlen));
+      reader->largest_ = key;
+    }
+  }
+  return reader;
+}
+
+Result<std::optional<std::string>> SstableReader::Get(std::string_view key) {
+  sim_->clock.Advance(sim_->cost.cacheline_miss * 3);  // bloom probes
+  if (!BloomMayContain(bloom_, SstKeyHash(key))) {
+    return std::optional<std::string>();
+  }
+  // Binary search the block index for the last block whose first key <= key.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const IndexEntry& e) { return k < e.first_key; });
+  if (it == index_.begin()) {
+    return std::optional<std::string>();
+  }
+  --it;
+  sim_->clock.Advance(sim_->cost.cacheline_miss *
+                      static_cast<SimDuration>(1 + std::max<size_t>(1, index_.size() / 2 ? 4 : 1)));
+  AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> blk, ReadRange(it->offset, it->length));
+  BinaryReader br(blk);
+  while (br.Remaining() > 0) {
+    AURORA_ASSIGN_OR_RETURN(uint32_t klen, br.U32());
+    AURORA_ASSIGN_OR_RETURN(uint32_t vlen, br.U32());
+    std::string k(klen, '\0');
+    AURORA_RETURN_IF_ERROR(br.Raw(k.data(), klen));
+    std::string v(vlen, '\0');
+    AURORA_RETURN_IF_ERROR(br.Raw(v.data(), vlen));
+    if (k == key) {
+      return std::optional<std::string>(std::move(v));
+    }
+  }
+  return std::optional<std::string>();
+}
+
+Status SstableReader::ForEach(
+    const std::function<void(std::string_view, std::string_view)>& fn) {
+  for (const IndexEntry& e : index_) {
+    AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> blk, ReadRange(e.offset, e.length));
+    BinaryReader br(blk);
+    while (br.Remaining() > 0) {
+      AURORA_ASSIGN_OR_RETURN(uint32_t klen, br.U32());
+      AURORA_ASSIGN_OR_RETURN(uint32_t vlen, br.U32());
+      std::string k(klen, '\0');
+      AURORA_RETURN_IF_ERROR(br.Raw(k.data(), klen));
+      std::string v(vlen, '\0');
+      AURORA_RETURN_IF_ERROR(br.Raw(v.data(), vlen));
+      fn(k, v);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aurora

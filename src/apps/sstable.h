@@ -1,0 +1,97 @@
+// Sorted string tables: the on-disk format of the mini-LSM.
+//
+// Layout (all little-endian through BinaryWriter):
+//   [data block]*  4 KiB-target blocks of (klen,vlen,key,value) records
+//   [index]        first key + offset + length per block
+//   [bloom]        one-hash-function-per-k bit array over all keys
+//   [footer]       index offset/len, bloom offset/len, entry count, magic
+#ifndef SRC_APPS_SSTABLE_H_
+#define SRC_APPS_SSTABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/posix/vnode.h"
+
+namespace aurora {
+
+class SstableWriter {
+ public:
+  SstableWriter(SimContext* sim, std::shared_ptr<Vnode> file);
+
+  // Keys must arrive in strictly increasing order.
+  Status Add(std::string_view key, std::string_view value);
+  // Writes index/bloom/footer. Returns total file bytes.
+  Result<uint64_t> Finish();
+
+  uint64_t entries() const { return entries_; }
+
+ private:
+  Status FlushBlock();
+
+  static constexpr uint64_t kBlockTarget = 4096;
+
+  SimContext* sim_;
+  std::shared_ptr<Vnode> file_;
+  uint64_t file_off_ = 0;
+  uint64_t entries_ = 0;
+  std::string last_key_;
+  std::vector<uint8_t> block_;
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;
+    uint32_t length;
+  };
+  std::vector<IndexEntry> index_;
+  std::vector<uint64_t> key_hashes_;
+};
+
+class SstableReader {
+ public:
+  static Result<std::unique_ptr<SstableReader>> Open(SimContext* sim,
+                                                     std::shared_ptr<Vnode> file);
+
+  // Point lookup: bloom filter, then index binary search, then block scan.
+  Result<std::optional<std::string>> Get(std::string_view key);
+
+  // Full ordered scan (compaction input). Calls fn(key, value) per entry.
+  Status ForEach(const std::function<void(std::string_view, std::string_view)>& fn);
+
+  uint64_t entries() const { return entries_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+
+ private:
+  SstableReader(SimContext* sim, std::shared_ptr<Vnode> file) : sim_(sim), file_(std::move(file)) {}
+
+  Result<std::vector<uint8_t>> ReadRange(uint64_t off, uint64_t len);
+
+  SimContext* sim_;
+  std::shared_ptr<Vnode> file_;
+  uint64_t entries_ = 0;
+  std::string smallest_;
+  std::string largest_;
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;
+    uint32_t length;
+  };
+  std::vector<IndexEntry> index_;
+  std::vector<uint8_t> bloom_;
+};
+
+// Bloom helper shared by writer/reader (k=3 derived hashes).
+bool BloomMayContain(const std::vector<uint8_t>& bits, uint64_t key_hash);
+void BloomAdd(std::vector<uint8_t>* bits, uint64_t key_hash);
+uint64_t SstKeyHash(std::string_view key);
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_SSTABLE_H_

@@ -1,0 +1,52 @@
+#include "src/apps/workloads.h"
+
+#include <cstdio>
+
+namespace aurora {
+
+KvRequest EtcWorkload::Next() {
+  KvRequest req;
+  req.key = zipf_.Next();
+  if (rng_.NextBool(set_ratio_)) {
+    req.op = KvOp::kSet;
+    // ETC value sizes: mostly tiny, occasionally larger (truncated
+    // generalized-Pareto-flavored mix).
+    double u = rng_.NextDouble();
+    if (u < 0.4) {
+      req.value_size = static_cast<uint32_t>(rng_.Range(2, 64));
+    } else if (u < 0.95) {
+      req.value_size = static_cast<uint32_t>(rng_.Range(64, 512));
+    } else {
+      req.value_size = static_cast<uint32_t>(rng_.Range(512, 4096));
+    }
+  } else {
+    req.op = KvOp::kGet;
+  }
+  return req;
+}
+
+KvRequest PrefixDistWorkload::Next() {
+  KvRequest req;
+  uint64_t prefix = prefix_zipf_.Next();
+  uint64_t within = rng_.Below(256);
+  req.key = (prefix * 256 + within) % num_keys_;
+  double u = rng_.NextDouble();
+  if (u < 0.83) {
+    req.op = KvOp::kGet;
+  } else if (u < 0.97) {
+    req.op = KvOp::kSet;
+    req.value_size = static_cast<uint32_t>(rng_.Range(100, 400));
+  } else {
+    req.op = KvOp::kSeek;
+    req.value_size = static_cast<uint32_t>(rng_.Range(10, 100));  // scan length
+  }
+  return req;
+}
+
+std::string PrefixDistWorkload::EncodeKey(uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%017llu", static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace aurora

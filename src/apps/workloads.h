@@ -1,0 +1,61 @@
+// Workload generators reproducing the paper's benchmark drivers.
+//
+//   * EtcWorkload — the mutilate "Facebook ETC" key-value mix (Atikoglu et
+//     al., SIGMETRICS'12): GET-dominated, Zipf-popular keys, small values.
+//   * PrefixDistWorkload — the RocksDB Facebook Prefix_dist mix (Cao et al.,
+//     FAST'20): get/put/seek over prefix-skewed keys.
+//   * FileBench personalities live in bench/ (they drive Filesystems
+//     directly).
+#ifndef SRC_APPS_WORKLOADS_H_
+#define SRC_APPS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/rng.h"
+
+namespace aurora {
+
+enum class KvOp : uint8_t { kGet, kSet, kSeek };
+
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  uint64_t key = 0;
+  uint32_t value_size = 0;
+};
+
+// Facebook ETC: ~3.3% SETs, Zipf(0.99) key popularity, values mostly a few
+// hundred bytes.
+class EtcWorkload {
+ public:
+  EtcWorkload(uint64_t num_keys, uint64_t seed, double set_ratio = 0.033)
+      : set_ratio_(set_ratio), zipf_(num_keys, 0.99, seed), rng_(seed ^ 0x5bd1e995) {}
+
+  KvRequest Next();
+
+ private:
+  double set_ratio_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+};
+
+// RocksDB Prefix_dist: 83% Get / 14% Put / 3% Seek, keys clustered under
+// hot prefixes.
+class PrefixDistWorkload {
+ public:
+  PrefixDistWorkload(uint64_t num_keys, uint64_t seed)
+      : num_keys_(num_keys), prefix_zipf_(num_keys / 256 + 1, 0.92, seed), rng_(seed ^ 0xc2b2ae35) {}
+
+  KvRequest Next();
+  // RocksDB-style 20-byte key encoding for a key id.
+  static std::string EncodeKey(uint64_t key);
+
+ private:
+  uint64_t num_keys_;
+  ZipfGenerator prefix_zipf_;
+  Rng rng_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_APPS_WORKLOADS_H_

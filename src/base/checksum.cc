@@ -1,0 +1,62 @@
+#include "src/base/checksum.h"
+
+#include <array>
+
+namespace aurora {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC32C polynomial
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = MakeCrc32cTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Crc32cTable();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; i++) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint64_t Fletcher64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t a = 0;
+  uint64_t b = 0;
+  // Process 4 bytes at a time like ZFS fletcher4; tail bytes are zero-padded.
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    uint32_t w = static_cast<uint32_t>(p[i]) | (static_cast<uint32_t>(p[i + 1]) << 8) |
+                 (static_cast<uint32_t>(p[i + 2]) << 16) | (static_cast<uint32_t>(p[i + 3]) << 24);
+    a += w;
+    b += a;
+  }
+  if (i < len) {
+    uint32_t w = 0;
+    for (size_t j = 0; i + j < len; j++) {
+      w |= static_cast<uint32_t>(p[i + j]) << (8 * j);
+    }
+    a += w;
+    b += a;
+  }
+  return (b << 32) ^ a;
+}
+
+}  // namespace aurora

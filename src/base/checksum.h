@@ -1,0 +1,19 @@
+// CRC32C checksums for on-disk integrity (superblocks, checkpoint records,
+// journal entries, ZFS-like block checksums).
+#ifndef SRC_BASE_CHECKSUM_H_
+#define SRC_BASE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aurora {
+
+// CRC32C (Castagnoli). Software table implementation; `seed` allows chaining.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+// 64-bit Fletcher-style checksum used by the ZFS-like baseline file system.
+uint64_t Fletcher64(const void* data, size_t len);
+
+}  // namespace aurora
+
+#endif  // SRC_BASE_CHECKSUM_H_

@@ -1,0 +1,49 @@
+#include "src/base/result.h"
+
+namespace aurora {
+
+const char* ErrcName(Errc e) {
+  switch (e) {
+    case Errc::kOk:
+      return "OK";
+    case Errc::kNotFound:
+      return "NOT_FOUND";
+    case Errc::kExists:
+      return "EXISTS";
+    case Errc::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Errc::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Errc::kNoSpace:
+      return "NO_SPACE";
+    case Errc::kCorrupt:
+      return "CORRUPT";
+    case Errc::kBusy:
+      return "BUSY";
+    case Errc::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Errc::kIoError:
+      return "IO_ERROR";
+    case Errc::kBadState:
+      return "BAD_STATE";
+    case Errc::kWouldBlock:
+      return "WOULD_BLOCK";
+    case Errc::kInterrupted:
+      return "INTERRUPTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string s = ErrcName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace aurora

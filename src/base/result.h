@@ -1,0 +1,121 @@
+// Lightweight Status / Result<T> error handling used across Aurora.
+//
+// Aurora is a systems library: errors (bad checkpoint images, crashed
+// devices, missing objects) are expected and must be propagated without
+// exceptions, mirroring kernel-style error returns.
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aurora {
+
+enum class Errc {
+  kOk = 0,
+  kNotFound,
+  kExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kNoSpace,
+  kCorrupt,
+  kBusy,
+  kNotSupported,
+  kIoError,
+  kBadState,
+  kWouldBlock,
+  kInterrupted,
+};
+
+const char* ErrcName(Errc e);
+
+// A status word with an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(Errc::kOk) {}
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(Errc code, std::string message = "") {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == Errc::kOk; }
+  Errc code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  Errc code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define AURORA_RETURN_IF_ERROR(expr)     \
+  do {                                   \
+    ::aurora::Status _st = (expr);       \
+    if (!_st.ok()) {                     \
+      return _st;                        \
+    }                                    \
+  } while (0)
+
+#define AURORA_INTERNAL_CAT2(a, b) a##b
+#define AURORA_INTERNAL_CAT(a, b) AURORA_INTERNAL_CAT2(a, b)
+
+#define AURORA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define AURORA_ASSIGN_OR_RETURN(lhs, expr) \
+  AURORA_ASSIGN_OR_RETURN_IMPL(AURORA_INTERNAL_CAT(_aurora_result_, __COUNTER__), lhs, expr)
+
+}  // namespace aurora
+
+#endif  // SRC_BASE_RESULT_H_

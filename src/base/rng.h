@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// All Aurora benchmarks and tests must be reproducible, so workload
+// generators use this splitmix64/xoshiro-style generator seeded explicitly
+// rather than std::random_device.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace aurora {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    // splitmix64: excellent mixing, one multiply chain per value.
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform integer in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // arrivals in open-loop load generators).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) {
+      u = 0.9999999999;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf-distributed key popularity, the standard model for key-value store
+// workloads (Facebook ETC in the paper is heavily skewed).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_BASE_RNG_H_

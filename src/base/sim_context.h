@@ -1,0 +1,26 @@
+// Shared simulation context: the clock, the cost model, the event queue and
+// the machine shape. One SimContext corresponds to one simulated machine.
+#ifndef SRC_BASE_SIM_CONTEXT_H_
+#define SRC_BASE_SIM_CONTEXT_H_
+
+#include "src/base/cost_model.h"
+#include "src/base/event_queue.h"
+#include "src/base/sim_clock.h"
+
+namespace aurora {
+
+struct SimContext {
+  SimContext() : events(&clock) {}
+  explicit SimContext(CostModel model) : cost(model), events(&clock) {}
+
+  SimClock clock;
+  CostModel cost;
+  EventQueue events;
+  // Paper testbed: dual Xeon Silver 4116 = 24 cores / 48 threads. IPI and
+  // TLB shootdown costs scale with the cores an application runs on.
+  int ncpus = 24;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_BASE_SIM_CONTEXT_H_

@@ -1,0 +1,75 @@
+// libsls: the application-facing Aurora API with the paper's Table 3 names.
+//
+// Thin, documented veneer over Sls for code written against the paper's
+// interface. An SlsApi instance plays the role of the libsls handle a
+// process would get from linking against the library; the "current process"
+// is explicit because the simulator hosts many processes.
+#ifndef SRC_CORE_API_H_
+#define SRC_CORE_API_H_
+
+#include <cstdint>
+
+#include "src/core/sls.h"
+
+namespace aurora {
+
+class SlsApi {
+ public:
+  SlsApi(Sls* sls, ConsistencyGroup* group, Process* proc)
+      : sls_(sls), group_(group), proc_(proc) {}
+
+  // sls_checkpoint(): manually checkpoint the calling process's consistency
+  // group. Returns the committed epoch.
+  Result<uint64_t> sls_checkpoint() {
+    AURORA_ASSIGN_OR_RETURN(CheckpointResult r, sls_->Checkpoint(group_));
+    return r.epoch;
+  }
+
+  // sls_restore(): roll the group back to `epoch` (0 = newest durable
+  // checkpoint). On success the *caller's process object is gone*; the
+  // returned group holds its successor — the analog of the paper's restore
+  // resuming execution inside the application's Aurora signal handler.
+  Result<ConsistencyGroup*> sls_restore(uint64_t epoch = 0) {
+    AURORA_ASSIGN_OR_RETURN(RestoreResult r, sls_->Restore(group_->name(), epoch));
+    group_ = r.group;
+    proc_ = r.group->processes.empty() ? nullptr : r.group->processes[0];
+    return r.group;
+  }
+
+  // sls_memckpt(): asynchronous atomic checkpoint of the mapped region
+  // containing `addr` (no whole-application serialization).
+  Status sls_memckpt(uint64_t addr) { return sls_->MemCheckpoint(proc_, addr).status(); }
+
+  // sls_journal(): non-temporal synchronous flush to a write-ahead journal
+  // outside the checkpoint (create once, append per operation).
+  Result<Oid> sls_journal_create(uint64_t capacity) { return sls_->JournalCreate(capacity); }
+  Status sls_journal(Oid journal, const void* data, uint64_t len) {
+    return sls_->JournalAppend(journal, data, len);
+  }
+  Status sls_journal_truncate(Oid journal) { return sls_->JournalReset(journal); }
+
+  // sls_barrier(): block until the group's last checkpoint is durable.
+  Status sls_barrier() { return sls_->Barrier(group_); }
+
+  // sls_mctl(): include/exclude the memory region containing `addr` from
+  // checkpoints (SLS_EXCLUDE / SLS_INCLUDE).
+  Status sls_mctl(uint64_t addr, bool exclude) { return sls_->MemCtl(proc_, addr, exclude); }
+
+  // sls_fdctl(): per-descriptor external synchrony control — read-only
+  // connections can skip the commit wait.
+  Status sls_fdctl(int fd, bool disable_external_sync) {
+    return sls_->FdCtl(proc_, fd, disable_external_sync);
+  }
+
+  ConsistencyGroup* group() { return group_; }
+  Process* process() { return proc_; }
+
+ private:
+  Sls* sls_;
+  ConsistencyGroup* group_;
+  Process* proc_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_API_H_

@@ -1,0 +1,240 @@
+#include "src/core/cli.h"
+
+#include <cstdio>
+
+#include "src/base/serializer.h"
+#include "src/core/coredump.h"
+
+namespace aurora {
+
+namespace {
+constexpr uint32_t kStreamMagic = 0x41534e44;  // "ASND"
+}
+
+Result<ConsistencyGroup*> SlsCli::Attach(const std::string& group_name, Process* proc) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    AURORA_ASSIGN_OR_RETURN(group, sls_->CreateGroup(group_name));
+  }
+  AURORA_RETURN_IF_ERROR(sls_->Attach(group, proc));
+  return group;
+}
+
+Status SlsCli::Detach(Process* proc) {
+  // Table 2: `sls detach` makes the process ephemeral — it stays in its
+  // consistency group (quiesced with the others) but is not persisted, and
+  // after a restore its parent sees SIGCHLD as if it had exited.
+  proc->ephemeral = true;
+  return Status::Ok();
+}
+
+Result<CheckpointResult> SlsCli::Checkpoint(const std::string& group_name,
+                                            const std::string& name) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  return sls_->Checkpoint(group, name);
+}
+
+Result<RestoreResult> SlsCli::Restore(const std::string& group_name, uint64_t epoch,
+                                      RestoreMode mode) {
+  return sls_->Restore(group_name, epoch, mode);
+}
+
+std::vector<std::string> SlsCli::Ps() {
+  std::vector<std::string> out;
+  for (ConsistencyGroup* group : sls_->Groups()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-16s procs=%zu ckpts=%llu period=%.0fms%s",
+                  group->name().c_str(), group->processes.size(),
+                  static_cast<unsigned long long>(group->checkpoints_taken),
+                  ToMillis(group->period), group->suspended ? " [suspended]" : "");
+    out.push_back(line);
+  }
+  for (const CheckpointInfo& c : sls_->ListCheckpoints()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  epoch=%llu name=%s t=%.3fs",
+                  static_cast<unsigned long long>(c.epoch), c.name.c_str(),
+                  ToSeconds(c.committed_at));
+    out.push_back(line);
+  }
+  return out;
+}
+
+Result<CheckpointResult> SlsCli::Suspend(const std::string& group_name) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  return sls_->Suspend(group);
+}
+
+Result<RestoreResult> SlsCli::Resume(const std::string& group_name) {
+  return sls_->ResumeSuspended(group_name);
+}
+
+Result<std::vector<uint8_t>> SlsCli::Dump(const std::string& group_name, uint64_t local_pid) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  for (Process* proc : group->processes) {
+    if (proc->local_pid() == local_pid) {
+      return WriteElfCore(proc);
+    }
+  }
+  return Status::Error(Errc::kNotFound, "no such process in group");
+}
+
+Status SlsCli::Prune(uint64_t epoch) { return sls_->store()->DeleteCheckpointsBefore(epoch); }
+
+Result<CheckpointStream> SlsCli::Send(const std::string& group_name, uint64_t epoch,
+                                      uint64_t since_epoch) {
+  AURORA_ASSIGN_OR_RETURN(auto found, sls_->FindManifest(group_name, epoch));
+  uint64_t e = found.first;
+  ObjectStore* store = sls_->store();
+  AURORA_ASSIGN_OR_RETURN(uint64_t manifest_size, store->SizeAtEpoch(e, found.second));
+  std::vector<uint8_t> manifest(manifest_size);
+  AURORA_RETURN_IF_ERROR(
+      store->ReadAtEpoch(e, found.second, 0, manifest.data(), manifest.size()));
+
+  BinaryWriter w;
+  w.PutU32(kStreamMagic);
+  w.PutU64(e);
+  w.PutU64(since_epoch);
+  w.PutBytes(manifest.data(), manifest.size());
+  AURORA_ASSIGN_OR_RETURN(auto memory, ManifestMemoryObjects(manifest));
+  w.PutU64(memory.size());
+  uint32_t bs = store->block_size();
+  std::vector<uint8_t> buf(bs);
+  for (const auto& [oid, size] : memory) {
+    w.PutU64(oid);
+    w.PutU64(size);
+    std::vector<uint64_t> blocks;
+    auto got = since_epoch == 0 ? store->BlocksAtEpoch(e, Oid{oid})
+                                : store->ChangedBlocksSince(since_epoch, e, Oid{oid});
+    if (got.ok()) {
+      blocks = *got;
+    }
+    w.PutU64(blocks.size());
+    for (uint64_t block : blocks) {
+      AURORA_RETURN_IF_ERROR(store->ReadAtEpoch(e, Oid{oid}, block * bs, buf.data(), bs));
+      w.PutU64(block);
+      w.PutRaw(buf.data(), buf.size());
+    }
+  }
+  // Ship it: one streaming transfer over the 10 GbE link.
+  sls_->sim()->clock.Advance(sls_->sim()->cost.NetTransfer(w.size()));
+  return CheckpointStream{w.Take()};
+}
+
+Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSession* session) {
+  SimContext* sim = sls_->sim();
+  SimStopwatch watch(sim->clock);
+  sim->clock.Advance(sim->cost.NetTransfer(stream.bytes.size()));
+
+  BinaryReader r(stream.bytes);
+  AURORA_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kStreamMagic) {
+    return Status::Error(Errc::kCorrupt, "bad checkpoint stream");
+  }
+  AURORA_ASSIGN_OR_RETURN(uint64_t stream_epoch, r.U64());
+  AURORA_ASSIGN_OR_RETURN(uint64_t since_epoch, r.U64());
+  if (since_epoch != 0 &&
+      (session == nullptr || session->last_epoch == 0 || since_epoch > session->last_epoch)) {
+    return Status::Error(Errc::kBadState,
+                         "incremental stream without a matching base image");
+  }
+  AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest, r.Bytes());
+
+  // Stage the memory contents.
+  std::map<uint64_t, std::map<uint64_t, std::vector<uint8_t>>> staged;  // oid -> block -> data
+  uint32_t bs = sls_->store()->block_size();
+  AURORA_ASSIGN_OR_RETURN(uint64_t nmem, r.U64());
+  for (uint64_t i = 0; i < nmem; i++) {
+    AURORA_ASSIGN_OR_RETURN(uint64_t oid, r.U64());
+    AURORA_ASSIGN_OR_RETURN(uint64_t size, r.U64());
+    (void)size;
+    AURORA_ASSIGN_OR_RETURN(uint64_t nblocks, r.U64());
+    for (uint64_t b = 0; b < nblocks; b++) {
+      AURORA_ASSIGN_OR_RETURN(uint64_t block, r.U64());
+      std::vector<uint8_t> data(bs);
+      AURORA_RETURN_IF_ERROR(r.Raw(data.data(), data.size()));
+      staged[oid][block] = std::move(data);
+    }
+  }
+
+  auto new_session_objects =
+      std::make_shared<std::map<uint64_t, std::shared_ptr<VmObject>>>();
+  auto resolve = [&staged, bs, session, new_session_objects](
+                     Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+    auto obj = VmObject::CreateAnonymous(size);
+    // Base image from the previous round, if any (incremental composition).
+    if (session != nullptr) {
+      auto prior = session->source_objects.find(oid.value);
+      if (prior != session->source_objects.end()) {
+        for (const auto& [pgidx, frame] : prior->second->pages()) {
+          obj->InstallPage(pgidx, frame->data.data());
+        }
+      }
+    }
+    auto it = staged.find(oid.value);
+    if (it != staged.end()) {
+      for (const auto& [block, data] : it->second) {
+        for (uint64_t p = 0; p < bs / kPageSize; p++) {
+          obj->InstallPage(block * (bs / kPageSize) + p, data.data() + p * kPageSize);
+        }
+      }
+    }
+    (*new_session_objects)[oid.value] = obj;
+    return ResolvedMemory{obj, false};
+  };
+
+  AURORA_ASSIGN_OR_RETURN(
+      RestoredGroup restored,
+      RestoreOsState(sim, sls_->kernel(), sls_->fs(), manifest, resolve));
+
+  // Source-store OIDs mean nothing here: clear them so this machine's first
+  // checkpoint assigns fresh local objects and flushes everything once.
+  for (Process* proc : restored.processes) {
+    for (auto& [start, entry] : proc->vm().entries()) {
+      std::shared_ptr<VmObject> obj = entry.object;
+      while (obj != nullptr) {
+        obj->set_sls_oid(0);
+        obj = obj->parent_ref();
+      }
+    }
+  }
+
+  ConsistencyGroup* group = sls_->FindGroup(restored.name);
+  if (group == nullptr) {
+    AURORA_ASSIGN_OR_RETURN(group, sls_->CreateGroup(restored.name));
+  } else if (!group->processes.empty()) {
+    if (session == nullptr) {
+      return Status::Error(Errc::kExists, "group already running on this machine");
+    }
+    // Continuous migration: the new round supersedes the standby instance.
+    for (Process* proc : group->processes) {
+      sls_->kernel()->DestroyProcess(proc);
+    }
+    group->processes.clear();
+  }
+  group->processes = restored.processes;
+  group->persisted_oids.clear();
+  group->pending_collapse.clear();
+  group->suspended = false;
+
+  if (session != nullptr) {
+    session->last_epoch = stream_epoch;
+    session->source_objects = std::move(*new_session_objects);
+  }
+
+  RestoreResult result;
+  result.group = group;
+  result.epoch = restored.epoch;
+  result.restore_time = watch.Elapsed();
+  return result;
+}
+
+}  // namespace aurora

@@ -1,0 +1,72 @@
+// The sls command-line verbs (paper Table 2) and checkpoint migration
+// (sls send / sls recv).
+#ifndef SRC_CORE_CLI_H_
+#define SRC_CORE_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/sls.h"
+
+namespace aurora {
+
+// Serialized checkpoint stream: manifest plus the memory-object contents,
+// suitable for piping to a file or a remote host.
+struct CheckpointStream {
+  std::vector<uint8_t> bytes;
+};
+
+// Receiver-side state for continuous migration: the memory objects built by
+// the previous stream, keyed by source OID, so incremental streams ship
+// only the blocks that changed since the last shipped epoch.
+struct MigrationSession {
+  uint64_t last_epoch = 0;
+  std::map<uint64_t, std::shared_ptr<VmObject>> source_objects;
+};
+
+class SlsCli {
+ public:
+  explicit SlsCli(Sls* sls) : sls_(sls) {}
+
+  // sls attach: attaches `proc` to the named group (created on demand).
+  Result<ConsistencyGroup*> Attach(const std::string& group_name, Process* proc);
+  // sls detach: makes the process ephemeral — still quiesced with its
+  // group, no longer persisted (Table 2).
+  Status Detach(Process* proc);
+  // sls checkpoint: manual named checkpoint.
+  Result<CheckpointResult> Checkpoint(const std::string& group_name, const std::string& name);
+  // sls restore.
+  Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
+                                RestoreMode mode = RestoreMode::kFull);
+  // sls ps: human-readable listing of groups and their checkpoints.
+  std::vector<std::string> Ps();
+  // sls suspend / sls resume.
+  Result<CheckpointResult> Suspend(const std::string& group_name);
+  Result<RestoreResult> Resume(const std::string& group_name);
+  // sls dump: ELF coredump of one process in the group.
+  Result<std::vector<uint8_t>> Dump(const std::string& group_name, uint64_t local_pid);
+  // Reclaims history: drops checkpoints older than `epoch` and frees their
+  // exclusive blocks (execution history is bounded only by storage).
+  Status Prune(uint64_t epoch);
+
+  // sls send: serializes the group's newest durable checkpoint (manifest +
+  // memory) into a stream, charging network transfer time. With
+  // `since_epoch` nonzero, only blocks written after that epoch are shipped
+  // (pre-copy rounds / continuous high availability).
+  Result<CheckpointStream> Send(const std::string& group_name, uint64_t epoch = 0,
+                                uint64_t since_epoch = 0);
+  // sls recv: instantiates a received stream on *this* machine's SLS. Store
+  // OIDs are re-assigned locally at the first checkpoint after arrival.
+  // With a session, incremental streams compose onto the previously
+  // received image and the session is updated for the next round.
+  Result<RestoreResult> Recv(const CheckpointStream& stream,
+                             MigrationSession* session = nullptr);
+
+ private:
+  Sls* sls_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_CLI_H_

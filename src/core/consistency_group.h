@@ -1,0 +1,78 @@
+// Consistency groups: the unit of atomic checkpointing (paper section 3).
+#ifndef SRC_CORE_CONSISTENCY_GROUP_H_
+#define SRC_CORE_CONSISTENCY_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/units.h"
+#include "src/objstore/oid.h"
+#include "src/posix/process.h"
+#include "src/posix/socket.h"
+#include "src/vm/system_shadow.h"
+
+namespace aurora {
+
+class ConsistencyGroup {
+ public:
+  ConsistencyGroup(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Members. A group typically holds one application or container; all of
+  // its processes checkpoint atomically and need no external synchrony
+  // among themselves.
+  std::vector<Process*> processes;
+
+  // Checkpoint policy. 10 ms (100x per second) is the paper's default.
+  SimDuration period = 10 * kMillisecond;
+  bool external_sync = true;
+  bool collapse_reversed = true;  // Aurora's collapse direction (ablatable)
+
+  // Memory overcommitment (paper section 6): when set, pages are dropped
+  // from memory as soon as their checkpoint flush completes — the unified
+  // checkpoint/swap data path. Faults stream them back from the store.
+  bool evict_after_flush = false;
+
+  // Runtime checkpoint state: the shadows frozen by the previous checkpoint
+  // (flushed, awaiting collapse at the next trigger) and the store objects
+  // already fully persisted (lower chain links never rewritten).
+  std::vector<ShadowPair> pending_collapse;
+  // Shadows frozen by memory-only checkpoints: their pages are dirty wrt the
+  // store and must be flushed by the next full checkpoint before they may be
+  // collapsed into a persisted base (otherwise those writes would be lost).
+  std::vector<ShadowPair> unflushed_frozen;
+  std::set<uint64_t> persisted_oids;
+
+  // Latest committed manifest for this group.
+  Oid last_manifest;
+  uint64_t last_manifest_epoch = 0;
+
+  // External synchrony: messages buffered until the covering checkpoint is
+  // durable.
+  struct PendingSend {
+    std::shared_ptr<Socket> socket;
+    std::vector<uint8_t> data;
+  };
+  std::vector<PendingSend> pending_sends;
+
+  bool suspended = false;
+
+  // Bookkeeping for observability.
+  LatencyHistogram stop_times;
+  uint64_t checkpoints_taken = 0;
+  uint64_t bytes_flushed_total = 0;
+
+ private:
+  uint64_t id_;
+  std::string name_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_CONSISTENCY_GROUP_H_

@@ -1,0 +1,189 @@
+#include "src/core/coredump.h"
+
+#include <cstring>
+
+#include "src/base/serializer.h"
+#include "src/base/units.h"
+
+namespace aurora {
+
+namespace {
+
+constexpr uint16_t kEtCore = 4;
+constexpr uint16_t kEmX86_64 = 62;
+constexpr uint32_t kPtLoad = 1;
+constexpr uint32_t kPtNote = 4;
+constexpr uint32_t kNtPrstatus = 1;
+constexpr size_t kEhdrSize = 64;
+constexpr size_t kPhdrSize = 56;
+
+void PutEhdr(BinaryWriter* w, uint16_t phnum) {
+  const uint8_t ident[16] = {0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LE*/, 1 /*version*/, 0,
+                             0,    0,   0,   0,   0,            0,        0,            0};
+  w->PutRaw(ident, sizeof(ident));
+  w->PutU16(kEtCore);
+  w->PutU16(kEmX86_64);
+  w->PutU32(1);          // e_version
+  w->PutU64(0);          // e_entry
+  w->PutU64(kEhdrSize);  // e_phoff
+  w->PutU64(0);          // e_shoff
+  w->PutU32(0);          // e_flags
+  w->PutU16(kEhdrSize);  // e_ehsize
+  w->PutU16(kPhdrSize);  // e_phentsize
+  w->PutU16(phnum);      // e_phnum
+  w->PutU16(0);          // e_shentsize
+  w->PutU16(0);          // e_shnum
+  w->PutU16(0);          // e_shstrndx
+}
+
+void PutPhdr(BinaryWriter* w, uint32_t type, uint64_t offset, uint64_t vaddr, uint64_t filesz,
+             uint64_t memsz, uint32_t flags) {
+  w->PutU32(type);
+  w->PutU32(flags);
+  w->PutU64(offset);
+  w->PutU64(vaddr);
+  w->PutU64(vaddr);  // p_paddr
+  w->PutU64(filesz);
+  w->PutU64(memsz);
+  w->PutU64(kPageSize);  // p_align
+}
+
+// Linux-style prstatus is 336 bytes; we emit the pr_pid at its canonical
+// offset (32) and the general registers in the user_regs_struct area so
+// tooling recognizes the layout.
+constexpr size_t kPrStatusSize = 336;
+constexpr size_t kPrPidOffset = 32;
+constexpr size_t kPrRegOffset = 112;
+
+std::vector<uint8_t> MakePrStatus(const Thread& t, uint64_t pid) {
+  std::vector<uint8_t> buf(kPrStatusSize, 0);
+  uint32_t pid32 = static_cast<uint32_t>(pid);
+  std::memcpy(buf.data() + kPrPidOffset, &pid32, sizeof(pid32));
+  size_t off = kPrRegOffset;
+  for (uint64_t reg : t.cpu.gpr) {
+    std::memcpy(buf.data() + off, &reg, sizeof(reg));
+    off += sizeof(reg);
+  }
+  std::memcpy(buf.data() + off, &t.cpu.rip, sizeof(t.cpu.rip));
+  off += 8;
+  std::memcpy(buf.data() + off, &t.cpu.rflags, sizeof(t.cpu.rflags));
+  off += 8;
+  std::memcpy(buf.data() + off, &t.cpu.rsp, sizeof(t.cpu.rsp));
+  return buf;
+}
+
+void PutNote(BinaryWriter* w, uint32_t type, const char* note_name,
+             const std::vector<uint8_t>& desc) {
+  uint32_t namesz = static_cast<uint32_t>(std::strlen(note_name) + 1);
+  w->PutU32(namesz);
+  w->PutU32(static_cast<uint32_t>(desc.size()));
+  w->PutU32(type);
+  w->PutRaw(note_name, namesz);
+  for (size_t pad = namesz; pad % 4 != 0; pad++) {
+    w->PutU8(0);
+  }
+  w->PutRaw(desc.data(), desc.size());
+  for (size_t pad = desc.size(); pad % 4 != 0; pad++) {
+    w->PutU8(0);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> WriteElfCore(Process* proc) {
+  // Build the note segment first so offsets are known.
+  BinaryWriter notes;
+  for (const auto& t : proc->threads()) {
+    PutNote(&notes, kNtPrstatus, "CORE", MakePrStatus(*t, proc->local_pid()));
+  }
+
+  const auto& entries = proc->vm().entries();
+  uint16_t phnum = static_cast<uint16_t>(entries.size() + 1);
+  uint64_t headers = kEhdrSize + static_cast<uint64_t>(phnum) * kPhdrSize;
+  uint64_t note_off = headers;
+  uint64_t data_off = note_off + notes.size();
+  data_off = (data_off + kPageSize - 1) & ~(kPageSize - 1);
+
+  BinaryWriter w;
+  PutEhdr(&w, phnum);
+  PutPhdr(&w, kPtNote, note_off, 0, notes.size(), 0, 0);
+  uint64_t seg_off = data_off;
+  for (const auto& [start, entry] : entries) {
+    uint32_t flags = 0;
+    flags |= (entry.prot & kProtExec) ? 1u : 0;   // PF_X
+    flags |= (entry.prot & kProtWrite) ? 2u : 0;  // PF_W
+    flags |= (entry.prot & kProtRead) ? 4u : 0;   // PF_R
+    PutPhdr(&w, kPtLoad, seg_off, entry.start, entry.size(), entry.size(), flags);
+    seg_off += entry.size();
+  }
+  w.PutRaw(notes.data().data(), notes.size());
+  while (w.size() < data_off) {
+    w.PutU8(0);
+  }
+  // Memory contents: read through the VM so shadow chains and lazily
+  // restored pages resolve exactly as the process would see them.
+  std::vector<uint8_t> page(kPageSize);
+  for (const auto& [start, entry] : entries) {
+    for (uint64_t addr = entry.start; addr < entry.end; addr += kPageSize) {
+      if ((entry.prot & kProtRead) != 0 &&
+          proc->vm().Read(addr, page.data(), kPageSize).ok()) {
+        w.PutRaw(page.data(), kPageSize);
+      } else {
+        std::vector<uint8_t> zero(kPageSize, 0);
+        w.PutRaw(zero.data(), zero.size());
+      }
+    }
+  }
+  return w.Take();
+}
+
+Result<ElfCoreSummary> InspectElfCore(const std::vector<uint8_t>& image) {
+  if (image.size() < kEhdrSize || image[0] != 0x7f || image[1] != 'E' || image[2] != 'L' ||
+      image[3] != 'F') {
+    return Status::Error(Errc::kCorrupt, "not an ELF image");
+  }
+  uint16_t type;
+  std::memcpy(&type, image.data() + 16, sizeof(type));
+  if (type != kEtCore) {
+    return Status::Error(Errc::kCorrupt, "not a core file");
+  }
+  uint64_t phoff;
+  uint16_t phnum;
+  std::memcpy(&phoff, image.data() + 32, sizeof(phoff));
+  std::memcpy(&phnum, image.data() + 56, sizeof(phnum));
+  ElfCoreSummary summary;
+  for (uint16_t i = 0; i < phnum; i++) {
+    const uint8_t* ph = image.data() + phoff + static_cast<uint64_t>(i) * kPhdrSize;
+    if (ph + kPhdrSize > image.data() + image.size()) {
+      return Status::Error(Errc::kCorrupt, "program header overruns image");
+    }
+    uint32_t ptype;
+    uint64_t filesz;
+    std::memcpy(&ptype, ph, sizeof(ptype));
+    std::memcpy(&filesz, ph + 32, sizeof(filesz));
+    if (ptype == kPtLoad) {
+      summary.load_segments++;
+      summary.memory_bytes += filesz;
+    } else if (ptype == kPtNote) {
+      // Count NT_PRSTATUS notes.
+      uint64_t off;
+      std::memcpy(&off, ph + 8, sizeof(off));
+      uint64_t end = off + filesz;
+      while (off + 12 <= end) {
+        uint32_t namesz;
+        uint32_t descsz;
+        uint32_t ntype;
+        std::memcpy(&namesz, image.data() + off, 4);
+        std::memcpy(&descsz, image.data() + off + 4, 4);
+        std::memcpy(&ntype, image.data() + off + 8, 4);
+        if (ntype == kNtPrstatus) {
+          summary.note_threads++;
+        }
+        off += 12 + ((namesz + 3) & ~3u) + ((descsz + 3) & ~3u);
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace aurora

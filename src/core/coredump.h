@@ -1,0 +1,30 @@
+// ELF64 core dump generation (the `sls dump` command, Table 2).
+//
+// Any checkpoint or running state can be extracted as a debugger-consumable
+// core file: an ELF64 ET_CORE image with one NT_PRSTATUS note per thread
+// and one PT_LOAD segment per mapped region carrying the memory contents.
+#ifndef SRC_CORE_COREDUMP_H_
+#define SRC_CORE_COREDUMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/posix/process.h"
+
+namespace aurora {
+
+// Renders `proc` as an ELF64 core file image.
+Result<std::vector<uint8_t>> WriteElfCore(Process* proc);
+
+// Validation helpers used by tests and tooling.
+struct ElfCoreSummary {
+  uint64_t load_segments = 0;
+  uint64_t note_threads = 0;
+  uint64_t memory_bytes = 0;
+};
+Result<ElfCoreSummary> InspectElfCore(const std::vector<uint8_t>& image);
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_COREDUMP_H_

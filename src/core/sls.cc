@@ -1,0 +1,744 @@
+#include "src/core/sls.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+namespace aurora {
+
+namespace {
+// sls_memckpt syscall entry, checkpoint-record allocation and flusher
+// handoff: the fixed cost of an atomic-region checkpoint beyond shadowing
+// (calibrated to Table 5's atomic column intercept).
+constexpr SimDuration kMemCkptHandoff = 72 * kMicrosecond;
+}  // namespace
+
+Sls::Sls(SimContext* sim, Kernel* kernel, ObjectStore* store, AuroraFs* fs)
+    : sim_(sim), kernel_(kernel), store_(store), fs_(fs) {
+  kernel_->set_rootfs(fs_);
+}
+
+Sls::~Sls() = default;
+
+Result<ConsistencyGroup*> Sls::CreateGroup(const std::string& name) {
+  if (FindGroup(name) != nullptr) {
+    return Status::Error(Errc::kExists, "group exists: " + name);
+  }
+  groups_.push_back(std::make_unique<ConsistencyGroup>(next_group_id_++, name));
+  return groups_.back().get();
+}
+
+ConsistencyGroup* Sls::FindGroup(const std::string& name) {
+  for (auto& g : groups_) {
+    if (g->name() == name) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Sls::Attach(ConsistencyGroup* group, Process* proc) {
+  for (Process* p : group->processes) {
+    if (p == proc) {
+      return Status::Error(Errc::kExists, "process already attached");
+    }
+  }
+  group->processes.push_back(proc);
+  return Status::Ok();
+}
+
+Status Sls::Detach(Process* proc) {
+  for (auto& g : groups_) {
+    auto& procs = g->processes;
+    auto it = std::find(procs.begin(), procs.end(), proc);
+    if (it != procs.end()) {
+      procs.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::Error(Errc::kNotFound, "process not attached to any group");
+}
+
+std::vector<ConsistencyGroup*> Sls::Groups() {
+  std::vector<ConsistencyGroup*> out;
+  out.reserve(groups_.size());
+  for (auto& g : groups_) {
+    out.push_back(g.get());
+  }
+  return out;
+}
+
+Oid Sls::EnsureMemoryOid(VmObject* obj) {
+  if (obj->sls_oid() != 0) {
+    return Oid{obj->sls_oid()};
+  }
+  auto oid = store_->CreateObject(ObjType::kMemory, obj->size());
+  if (!oid.ok()) {
+    return kInvalidOid;
+  }
+  obj->set_sls_oid(oid->value);
+  return *oid;
+}
+
+std::vector<VmMap*> Sls::GroupMaps(ConsistencyGroup* group) {
+  std::vector<VmMap*> maps;
+  maps.reserve(group->processes.size());
+  for (Process* proc : group->processes) {
+    maps.push_back(&proc->vm());
+  }
+  return maps;
+}
+
+namespace {
+// Backs a fully-durable bottom object with the store so dropped pages
+// stream back on demand — the paper's unified checkpoint/swap data path.
+// Only legal for parentless anonymous objects: a catch-all pager installed
+// mid-chain would shadow the links below it.
+void InstallStorePager(ObjectStore* store, VmObject* base) {
+  if (base->has_pager() || base->parent() != nullptr || base->sls_oid() == 0) {
+    return;
+  }
+  Oid oid{base->sls_oid()};
+  base->set_pager([store, oid](uint64_t pgidx, uint8_t* out) {
+    auto blocks = store->ReadAt(oid, pgidx * kPageSize, out, kPageSize);
+    return blocks.ok();
+  });
+}
+}  // namespace
+
+Result<Sls::EvictStats> Sls::EvictPages(ConsistencyGroup* group, uint64_t target_pages) {
+  EvictStats stats;
+  // Paging policy: madvise(DONTNEED) regions first, normal ones next, and
+  // WILLNEED regions only under continued pressure (paper section 6).
+  for (int pass_hint : {kMadvDontneed, kMadvNormal, kMadvWillneed}) {
+  for (Process* proc : group->processes) {
+    for (auto& [start, entry] : proc->vm().entries()) {
+      if (stats.clean_evicted >= target_pages) {
+        return stats;
+      }
+      if (entry.object->type() != VmObjectType::kAnonymous ||
+          entry.madvise_hint != pass_hint) {
+        continue;
+      }
+      // Walk to the bottom of the chain: the coldest, fully-persisted layer.
+      std::shared_ptr<VmObject> base = entry.object;
+      while (base->parent_ref() != nullptr) {
+        base = base->parent_ref();
+      }
+      if (base->type() != VmObjectType::kAnonymous || base->sls_oid() == 0 ||
+          group->persisted_oids.count(base->sls_oid()) == 0 || base.get() == entry.object.get()) {
+        continue;  // not durable yet, or it is the live top (dirty)
+      }
+      InstallStorePager(store_, base.get());
+      uint64_t dropped = base->DropResidentPages();
+      sim_->clock.Advance(sim_->cost.pte_protect * dropped);  // pagedaemon PTE work
+      stats.clean_evicted += dropped;
+      if (dropped > 0) {
+        stats.objects_paged++;
+      }
+    }
+  }
+  }
+  return stats;
+}
+
+Result<SimTime> Sls::FlushMemoryObject(Oid oid, VmObject* obj, uint64_t* pages,
+                                       uint64_t* bytes) {
+  // One run per resident page; the store batches runs per 64 KiB block so
+  // sparse dirty sets cost one COW block update per touched block, with
+  // asynchronous RMW reads — the flush overlaps application execution.
+  std::vector<ObjectStore::IoRun> runs;
+  runs.reserve(obj->pages().size());
+  for (const auto& [pgidx, frame] : obj->pages()) {
+    runs.push_back(
+        ObjectStore::IoRun{pgidx * kPageSize, frame->data.data(), kPageSize});
+    if (pages != nullptr) {
+      (*pages)++;
+    }
+    if (bytes != nullptr) {
+      *bytes += kPageSize;
+    }
+  }
+  if (runs.empty()) {
+    return sim_->clock.now();
+  }
+  AURORA_ASSIGN_OR_RETURN(SimTime done, store_->WriteAtBatch(oid, runs));
+  // The flusher walks the object with its lock held; COW faults copying
+  // from it contend (see VmObject::busy_until).
+  obj->set_busy_until(done);
+  return done;
+}
+
+Result<SimTime> Sls::FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* pages,
+                                            uint64_t* bytes) {
+  SimTime done = sim_->clock.now();
+  std::set<const VmObject*> visited;
+  auto flush_chain = [&](const std::shared_ptr<VmObject>& top) -> Status {
+    std::shared_ptr<VmObject> obj = top;
+    bool is_top = true;
+    while (obj != nullptr && obj->type() == VmObjectType::kAnonymous) {
+      if (!visited.insert(obj.get()).second) {
+        break;
+      }
+      // The live top is the *next* checkpoint's dirty set; skip it. Lower
+      // links flush once, the first time a checkpoint reaches them.
+      if (!is_top && obj->sls_oid() != 0 &&
+          group->persisted_oids.count(obj->sls_oid()) == 0) {
+        Oid oid{obj->sls_oid()};
+        auto t = FlushMemoryObject(oid, obj.get(), pages, bytes);
+        if (!t.ok()) {
+          return t.status();
+        }
+        done = std::max(done, *t);
+        group->persisted_oids.insert(oid.value);
+        snapshots_[group][oid.value] = obj;
+      }
+      is_top = false;
+      obj = obj->parent_ref();
+    }
+    return Status::Ok();
+  };
+  for (Process* proc : group->processes) {
+    for (auto& [start, entry] : proc->vm().entries()) {
+      if (entry.object->type() == VmObjectType::kAnonymous &&
+          !entry.exclude_from_checkpoint) {
+        AURORA_RETURN_IF_ERROR(flush_chain(entry.object));
+      }
+    }
+    for (const auto& slot : proc->fds().slots()) {
+      if (slot.desc != nullptr && slot.desc->object != nullptr &&
+          slot.desc->object->type() == FileType::kShm) {
+        auto* shm = static_cast<SharedMemory*>(slot.desc->object.get());
+        if (shm->object != nullptr) {
+          AURORA_RETURN_IF_ERROR(flush_chain(shm->object));
+        }
+      }
+    }
+  }
+  return done;
+}
+
+Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::string& name,
+                                         CheckpointMode mode) {
+  std::vector<VmMap*> maps = GroupMaps(group);
+
+  // Step 0: eagerly collapse the shadows flushed by the previous checkpoint
+  // (paper section 6: chains capped at two). After a collapse the in-memory
+  // snapshot for that region is the merged base.
+  for (const ShadowPair& pair : group->pending_collapse) {
+    uint64_t oid = pair.frozen->sls_oid();
+    if (CollapseAfterFlush(pair, maps, group->collapse_reversed, sim_)) {
+      std::shared_ptr<VmObject> base = pair.live->parent_ref();
+      snapshots_[group][oid] = base;
+      if (group->evict_after_flush && base != nullptr && base->parent() == nullptr &&
+          group->persisted_oids.count(base->sls_oid()) > 0) {
+        // Memory overcommitment: the merged base equals the store's state at
+        // the flushed epoch, so its frames can be dropped and demand-paged
+        // back — swapping and checkpointing share one data path (paper 6).
+        InstallStorePager(store_, base.get());
+        uint64_t dropped = base->DropResidentPages();
+        sim_->clock.Advance(sim_->cost.pte_protect * dropped);
+      }
+    }
+  }
+  group->pending_collapse.clear();
+
+  SimStopwatch stop(sim_->clock);
+
+  // Step 1: quiesce every thread at the kernel boundary.
+  CheckpointResult result;
+  SimStopwatch quiesce_watch(sim_->clock);
+  kernel_->Quiesce(group->processes);
+  result.quiesce_time = quiesce_watch.Elapsed();
+
+  // Step 2: persist the file system namespace, then serialize the POSIX
+  // object graph exactly once per object.
+  SimStopwatch serialize_watch(sim_->clock);
+  Oid ns_oid = kInvalidOid;
+  if (mode == CheckpointMode::kFull) {
+    AURORA_ASSIGN_OR_RETURN(ns_oid, fs_->PersistNamespace());
+  }
+  auto ensure = [this](VmObject* obj) { return EnsureMemoryOid(obj); };
+  AURORA_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> manifest,
+      SerializeOsState(sim_, *group, store_->current_epoch(), ns_oid, ensure, &result.os_state));
+  result.os_serialize_time = serialize_watch.Elapsed();
+
+  // Step 3: system shadowing across the whole group.
+  SimStopwatch shadow_watch(sim_->clock);
+  SystemShadowStats shadow_stats;
+  std::vector<ShadowPair> pairs = CreateSystemShadows(
+      maps, sim_,
+      [this](VmObject* old_top, std::shared_ptr<VmObject> new_top) {
+        kernel_->RebindShmObjects(old_top, new_top);
+      },
+      &shadow_stats);
+  for (const ShadowPair& pair : pairs) {
+    snapshots_[group][pair.frozen->sls_oid()] = pair.frozen;
+  }
+
+  result.shadow_time = shadow_watch.Elapsed();
+
+  // Step 4: resume; the application runs concurrently with the flush.
+  kernel_->Resume(group->processes);
+  result.stop_time = stop.Elapsed();
+  group->stop_times.Record(result.stop_time);
+  group->checkpoints_taken++;
+  last_manifest_blobs_[group] = manifest;
+
+  if (mode == CheckpointMode::kMemoryOnly) {
+    // Not durable: these frozen shadows hold pages the store has not seen.
+    // They stay un-collapsed until a full checkpoint flushes them.
+    for (ShadowPair& pair : pairs) {
+      group->unflushed_frozen.push_back(std::move(pair));
+    }
+    result.durable_at = sim_->clock.now();
+    last_durable_[group] = result.durable_at;
+    return result;
+  }
+
+  // Step 5: asynchronous flush. Frozen shadows stream their dirty pages into
+  // their region objects; chain links never persisted flush once. Shadows
+  // left behind by memory-only checkpoints flush first (oldest data).
+  SimTime durable = sim_->clock.now();
+  for (const ShadowPair& pair : group->unflushed_frozen) {
+    Oid oid{pair.frozen->sls_oid()};
+    if (!oid.valid()) {
+      continue;
+    }
+    AURORA_ASSIGN_OR_RETURN(
+        SimTime t, FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed,
+                                     &result.bytes_flushed));
+    durable = std::max(durable, t);
+    group->persisted_oids.insert(oid.value);
+  }
+  for (const ShadowPair& pair : pairs) {
+    Oid oid{pair.frozen->sls_oid()};
+    if (!oid.valid()) {
+      continue;  // excluded region
+    }
+    AURORA_ASSIGN_OR_RETURN(
+        SimTime t, FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed,
+                                     &result.bytes_flushed));
+    durable = std::max(durable, t);
+    group->persisted_oids.insert(oid.value);
+  }
+  AURORA_ASSIGN_OR_RETURN(
+      SimTime chains_done,
+      FlushUnpersistedChains(group, &result.pages_flushed, &result.bytes_flushed));
+  durable = std::max(durable, chains_done);
+
+  // File system dirty data obeys checkpoint consistency: it flushes with the
+  // checkpoint, which is why fsync can be a no-op.
+  AURORA_ASSIGN_OR_RETURN(SimTime fs_done, fs_->FlushAll());
+  durable = std::max(durable, fs_done);
+
+  // Manifest object for this epoch; the previous one leaves the live table
+  // (it remains readable at its own epoch).
+  AURORA_ASSIGN_OR_RETURN(Oid manifest_oid, store_->CreateObject(ObjType::kManifest));
+  AURORA_ASSIGN_OR_RETURN(SimTime manifest_done,
+                          store_->WriteAt(manifest_oid, 0, manifest.data(), manifest.size()));
+  durable = std::max(durable, manifest_done);
+  if (group->last_manifest.valid()) {
+    (void)store_->DeleteObject(group->last_manifest);
+  }
+
+  uint64_t committed_epoch = store_->current_epoch();
+  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint(name));
+  durable = std::max(durable, commit_done);
+
+  group->last_manifest = manifest_oid;
+  group->last_manifest_epoch = committed_epoch;
+  // Collapse order matters: oldest (deepest) shadows first.
+  group->pending_collapse = std::move(group->unflushed_frozen);
+  group->unflushed_frozen.clear();
+  for (ShadowPair& pair : pairs) {
+    group->pending_collapse.push_back(std::move(pair));
+  }
+  group->bytes_flushed_total += result.bytes_flushed;
+  result.epoch = committed_epoch;
+  result.durable_at = durable;
+  last_durable_[group] = durable;
+
+  // External synchrony: messages held since the previous checkpoint are
+  // released once this one is durable.
+  if (!group->pending_sends.empty()) {
+    auto sends = std::make_shared<std::vector<ConsistencyGroup::PendingSend>>(
+        std::move(group->pending_sends));
+    group->pending_sends.clear();
+    sim_->events.At(durable, [sends]() {
+      for (auto& send : *sends) {
+        (void)send.socket->Send(send.data.data(), send.data.size());
+      }
+    });
+  }
+  return result;
+}
+
+void Sls::StartPeriodicCheckpoints(ConsistencyGroup* group) {
+  if (periodic_.count(group) > 0) {
+    return;
+  }
+  auto alive = std::make_shared<bool>(true);
+  periodic_[group] = alive;
+  ScheduleNextPeriodic(group, alive);
+}
+
+void Sls::StopPeriodicCheckpoints(ConsistencyGroup* group) {
+  auto it = periodic_.find(group);
+  if (it != periodic_.end()) {
+    *it->second = false;
+    periodic_.erase(it);
+  }
+}
+
+void Sls::ScheduleNextPeriodic(ConsistencyGroup* group, std::shared_ptr<bool> alive) {
+  sim_->events.After(group->period, [this, group, alive]() {
+    if (!*alive || group->suspended || group->processes.empty()) {
+      return;
+    }
+    auto ckpt = Checkpoint(group);
+    if (ckpt.ok() && ckpt->durable_at > sim_->clock.now() + group->period) {
+      // The store must finish persisting a checkpoint before the next one
+      // starts (paper section 7); stretch the schedule to durability.
+      sim_->events.At(ckpt->durable_at, [this, group, alive]() {
+        if (*alive) {
+          ScheduleNextPeriodic(group, alive);
+        }
+      });
+      return;
+    }
+    ScheduleNextPeriodic(group, alive);
+  });
+}
+
+void Sls::ReleasePendingSends(ConsistencyGroup* group) {
+  for (auto& send : group->pending_sends) {
+    (void)send.socket->Send(send.data.data(), send.data.size());
+  }
+  group->pending_sends.clear();
+}
+
+Result<uint64_t> Sls::SendExternal(ConsistencyGroup* group,
+                                   const std::shared_ptr<Socket>& socket, const void* data,
+                                   uint64_t len) {
+  if (!group->external_sync || socket->external_sync_disabled) {
+    return socket->Send(data, len);
+  }
+  ConsistencyGroup::PendingSend send;
+  send.socket = socket;
+  const auto* p = static_cast<const uint8_t*>(data);
+  send.data.assign(p, p + len);
+  group->pending_sends.push_back(std::move(send));
+  return len;
+}
+
+Result<std::pair<uint64_t, Oid>> Sls::FindManifest(const std::string& group_name,
+                                                   uint64_t epoch) {
+  std::vector<CheckpointInfo> ckpts = store_->ListCheckpoints();
+  std::sort(ckpts.begin(), ckpts.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) { return a.epoch > b.epoch; });
+  for (const CheckpointInfo& c : ckpts) {
+    if (epoch != 0 && c.epoch != epoch) {
+      continue;
+    }
+    auto oids = store_->ObjectsAtEpoch(c.epoch);
+    if (!oids.ok()) {
+      continue;
+    }
+    for (Oid oid : *oids) {
+      auto type = store_->TypeAtEpoch(c.epoch, oid);
+      if (!type.ok() || *type != ObjType::kManifest) {
+        continue;
+      }
+      auto size = store_->SizeAtEpoch(c.epoch, oid);
+      if (!size.ok()) {
+        continue;
+      }
+      std::vector<uint8_t> blob(*size);
+      if (!store_->ReadAtEpoch(c.epoch, oid, 0, blob.data(), blob.size()).ok()) {
+        continue;
+      }
+      auto head = PeekManifest(blob);
+      if (head.ok() && head->name == group_name) {
+        return std::make_pair(c.epoch, oid);
+      }
+    }
+    if (epoch != 0) {
+      break;
+    }
+  }
+  return Status::Error(Errc::kNotFound, "no checkpoint manifest for group " + group_name);
+}
+
+void Sls::WrapRestoredTops(ConsistencyGroup* group) {
+  // One batched shadow pass (one TLB shootdown per address space): the
+  // restored tops freeze as already-persisted bases and new empty shadows
+  // take the writes, so the first post-restore checkpoint is incremental.
+  std::vector<VmMap*> maps = GroupMaps(group);
+  std::vector<ShadowPair> pairs = CreateSystemShadows(
+      maps, sim_,
+      [this](VmObject* old_top, std::shared_ptr<VmObject> new_top) {
+        kernel_->RebindShmObjects(old_top, new_top);
+      },
+      nullptr);
+  (void)pairs;  // frozen bases are already persisted; nothing to flush
+}
+
+Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch,
+                                   RestoreMode mode) {
+  SimStopwatch watch(sim_->clock);
+
+  std::vector<uint8_t> manifest;
+  uint64_t manifest_epoch = 0;
+  ConsistencyGroup* old_group = FindGroup(group_name);
+
+  if (mode == RestoreMode::kFromMemory) {
+    if (old_group == nullptr || last_manifest_blobs_.count(old_group) == 0) {
+      return Status::Error(Errc::kNotFound, "no in-memory checkpoint for " + group_name);
+    }
+    manifest = last_manifest_blobs_[old_group];
+  } else {
+    AURORA_ASSIGN_OR_RETURN(auto found, FindManifest(group_name, epoch));
+    manifest_epoch = found.first;
+    AURORA_ASSIGN_OR_RETURN(uint64_t size, store_->SizeAtEpoch(manifest_epoch, found.second));
+    manifest.resize(size);
+    AURORA_RETURN_IF_ERROR(
+        store_->ReadAtEpoch(manifest_epoch, found.second, 0, manifest.data(), manifest.size()));
+  }
+
+  // Build the memory resolver for the selected mode.
+  MemoryResolverFn resolve;
+  std::map<uint64_t, std::shared_ptr<VmObject>> old_snapshots;
+  if (old_group != nullptr && snapshots_.count(old_group) > 0) {
+    old_snapshots = snapshots_[old_group];
+  }
+  if (mode == RestoreMode::kFromMemory) {
+    resolve = [&old_snapshots](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+      auto it = old_snapshots.find(oid.value);
+      if (it == old_snapshots.end()) {
+        // Region created after the last checkpoint: empty anonymous memory.
+        return ResolvedMemory{VmObject::CreateAnonymous(size), true};
+      }
+      return ResolvedMemory{it->second, true};
+    };
+  } else if (mode == RestoreMode::kFull) {
+    // Eager restore streams every object's blocks with pipelined reads; the
+    // caller advances to the stream's completion once at the end.
+    auto stream_done = std::make_shared<SimTime>(sim_->clock.now());
+    full_restore_done_ = stream_done;
+    resolve = [this, manifest_epoch, stream_done](Oid oid,
+                                                  uint64_t size) -> Result<ResolvedMemory> {
+      auto obj = VmObject::CreateAnonymous(size);
+      auto blocks = store_->BlocksAtEpoch(manifest_epoch, oid);
+      if (blocks.ok()) {
+        uint32_t bs = store_->block_size();
+        std::vector<uint8_t> buf(bs);
+        for (uint64_t block : *blocks) {
+          AURORA_RETURN_IF_ERROR(store_->ReadAtEpoch(manifest_epoch, oid, block * bs,
+                                                     buf.data(), bs, stream_done.get()));
+          for (uint64_t p = 0; p < bs / kPageSize; p++) {
+            obj->InstallPage(block * (bs / kPageSize) + p, buf.data() + p * kPageSize);
+          }
+        }
+      }
+      return ResolvedMemory{std::move(obj), false};
+    };
+  } else {  // kLazy
+    resolve = [this, manifest_epoch](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+      auto obj = VmObject::CreateAnonymous(size);
+      auto blocks = store_->BlocksAtEpoch(manifest_epoch, oid);
+      auto present = std::make_shared<std::set<uint64_t>>();
+      if (blocks.ok()) {
+        present->insert(blocks->begin(), blocks->end());
+      }
+      ObjectStore* store = store_;
+      uint32_t bs = store_->block_size();
+      obj->set_pager([store, manifest_epoch, oid, present, bs](uint64_t pgidx, uint8_t* out) {
+        uint64_t block = pgidx * kPageSize / bs;
+        if (present->count(block) == 0) {
+          return false;
+        }
+        return store->ReadAtEpoch(manifest_epoch, oid, pgidx * kPageSize, out, kPageSize).ok();
+      });
+      return ResolvedMemory{std::move(obj), false};
+    };
+  }
+
+  // Tear down the previous incarnation (rollback semantics).
+  if (old_group != nullptr) {
+    for (Process* proc : old_group->processes) {
+      kernel_->DestroyProcess(proc);
+    }
+    old_group->processes.clear();
+  }
+
+  // Namespace first so vnode lookups by inode succeed.
+  if (mode != RestoreMode::kFromMemory) {
+    auto head = PeekManifest(manifest);
+    if (head.ok() && head->namespace_oid.valid()) {
+      AURORA_RETURN_IF_ERROR(fs_->RestoreNamespace(manifest_epoch, head->namespace_oid));
+    }
+  }
+
+  AURORA_ASSIGN_OR_RETURN(RestoredGroup restored,
+                          RestoreOsState(sim_, kernel_, fs_, manifest, resolve));
+
+  ConsistencyGroup* group = old_group;
+  if (group == nullptr) {
+    AURORA_ASSIGN_OR_RETURN(group, CreateGroup(group_name));
+  }
+  group->processes = restored.processes;
+  group->suspended = false;
+  group->pending_collapse.clear();
+  group->unflushed_frozen.clear();
+  group->pending_sends.clear();
+
+  // Every region named by the manifest is durable at this epoch (or, for
+  // memory restores, lives in the retained snapshot objects).
+  group->persisted_oids.clear();
+  auto& snapshot_map = snapshots_[group];
+  if (mode != RestoreMode::kFromMemory) {
+    snapshot_map.clear();
+  }
+  WrapRestoredTops(group);
+  for (Process* proc : group->processes) {
+    for (auto& [start, entry] : proc->vm().entries()) {
+      std::shared_ptr<VmObject> obj = entry.object;
+      while (obj != nullptr) {
+        if (obj->sls_oid() != 0) {
+          group->persisted_oids.insert(obj->sls_oid());
+          if (obj->frozen()) {
+            snapshot_map[obj->sls_oid()] = obj;
+          }
+        }
+        obj = obj->parent_ref();
+      }
+    }
+  }
+  last_manifest_blobs_[group] = manifest;
+
+  if (mode == RestoreMode::kFull && full_restore_done_ != nullptr) {
+    sim_->clock.AdvanceTo(*full_restore_done_);
+    full_restore_done_.reset();
+  }
+
+  RestoreResult result;
+  result.group = group;
+  result.epoch = mode == RestoreMode::kFromMemory ? restored.epoch : manifest_epoch;
+  result.restore_time = watch.Elapsed();
+  return result;
+}
+
+Result<CheckpointResult> Sls::Suspend(ConsistencyGroup* group) {
+  AURORA_ASSIGN_OR_RETURN(CheckpointResult result,
+                          Checkpoint(group, "suspend:" + group->name()));
+  sim_->clock.AdvanceTo(result.durable_at);
+  for (Process* proc : group->processes) {
+    kernel_->DestroyProcess(proc);
+  }
+  group->processes.clear();
+  group->pending_collapse.clear();
+  group->unflushed_frozen.clear();
+  group->suspended = true;
+  return result;
+}
+
+Result<RestoreResult> Sls::ResumeSuspended(const std::string& group_name, RestoreMode mode) {
+  return Restore(group_name, 0, mode);
+}
+
+Result<CheckpointResult> Sls::MemCheckpoint(Process* proc, uint64_t addr) {
+  VmMapEntry* entry = proc->vm().FindEntry(addr);
+  if (entry == nullptr) {
+    return Status::Error(Errc::kNotFound, "no mapping at address");
+  }
+  if (entry->object->type() != VmObjectType::kAnonymous) {
+    return Status::Error(Errc::kNotSupported, "atomic checkpoints cover anonymous memory");
+  }
+  ConsistencyGroup* group = nullptr;
+  for (auto& g : groups_) {
+    if (std::find(g->processes.begin(), g->processes.end(), proc) != g->processes.end()) {
+      group = g.get();
+      break;
+    }
+  }
+  if (group == nullptr) {
+    return Status::Error(Errc::kBadState, "process not in a consistency group");
+  }
+
+  SimStopwatch watch(sim_->clock);
+  sim_->clock.Advance(kMemCkptHandoff);
+
+  std::vector<VmMap*> maps = GroupMaps(group);
+  Oid oid = EnsureMemoryOid(entry->object.get());
+  // Copy the shared_ptr: rebinding replaces entry->object itself.
+  std::shared_ptr<VmObject> region = entry->object;
+  ShadowPair pair = ShadowOneObject(
+      region, maps, sim_,
+      [this](VmObject* old_top, std::shared_ptr<VmObject> new_top) {
+        kernel_->RebindShmObjects(old_top, new_top);
+      });
+  snapshots_[group][oid.value] = pair.frozen;
+
+  CheckpointResult result;
+  result.stop_time = watch.Elapsed();
+
+  // Asynchronous flush of the shadowed region, then a store commit so the
+  // atomic checkpoint is independently durable and composes with the most
+  // recent full checkpoint at restore.
+  AURORA_ASSIGN_OR_RETURN(
+      SimTime flushed,
+      FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed, &result.bytes_flushed));
+  group->persisted_oids.insert(oid.value);
+  uint64_t committed_epoch = store_->current_epoch();
+  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint("memckpt"));
+  result.epoch = committed_epoch;
+  result.durable_at = std::max(flushed, commit_done);
+  last_durable_[group] = std::max(last_durable_[group], result.durable_at);
+  group->pending_collapse.push_back(pair);
+  return result;
+}
+
+Result<Oid> Sls::JournalCreate(uint64_t capacity_bytes) {
+  return store_->CreateJournal(capacity_bytes);
+}
+
+Status Sls::JournalAppend(Oid journal, const void* data, uint64_t len) {
+  return store_->JournalAppend(journal, data, len);
+}
+
+Status Sls::JournalReset(Oid journal) { return store_->JournalReset(journal); }
+
+Result<std::vector<std::vector<uint8_t>>> Sls::JournalReplay(Oid journal) {
+  return store_->JournalReplay(journal);
+}
+
+Status Sls::Barrier(ConsistencyGroup* group) {
+  auto it = last_durable_.find(group);
+  if (it != last_durable_.end()) {
+    sim_->clock.AdvanceTo(it->second);
+  }
+  ReleasePendingSends(group);
+  return Status::Ok();
+}
+
+Status Sls::MemCtl(Process* proc, uint64_t addr, bool exclude) {
+  VmMapEntry* entry = proc->vm().FindEntry(addr);
+  if (entry == nullptr) {
+    return Status::Error(Errc::kNotFound, "no mapping at address");
+  }
+  entry->exclude_from_checkpoint = exclude;
+  return Status::Ok();
+}
+
+Status Sls::FdCtl(Process* proc, int fd, bool disable_external_sync) {
+  AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc->fds().Get(fd));
+  if (desc->object == nullptr || desc->object->type() != FileType::kSocket) {
+    return Status::Error(Errc::kInvalidArgument, "fdctl targets sockets");
+  }
+  static_cast<Socket*>(desc->object.get())->external_sync_disabled = disable_external_sync;
+  return Status::Ok();
+}
+
+}  // namespace aurora

@@ -1,0 +1,174 @@
+// The Aurora single level store: orchestrator and application API.
+//
+// The Sls ties the simulated kernel, the object store and AuroraFS together
+// and implements the paper's checkpoint pipeline:
+//
+//   collapse previous shadows -> quiesce -> serialize POSIX objects (each
+//   exactly once) -> system shadow -> resume -> asynchronous flush ->
+//   store commit -> release externally-synchronized messages.
+//
+// Stop time covers quiesce through resume; everything after overlaps
+// application execution.
+#ifndef SRC_CORE_SLS_H_
+#define SRC_CORE_SLS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/core/consistency_group.h"
+#include "src/core/serialize.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/posix/kernel.h"
+
+namespace aurora {
+
+enum class CheckpointMode {
+  kFull,        // serialize + shadow + flush to the store + commit
+  kMemoryOnly,  // serialize + shadow only; snapshot stays in memory
+};
+
+enum class RestoreMode {
+  kFull,        // materialize all pages from the store eagerly
+  kLazy,        // restore OS state only; pages fault in on demand
+  kFromMemory,  // rollback to the in-memory snapshot (no device reads)
+};
+
+struct CheckpointResult {
+  uint64_t epoch = 0;          // store epoch this checkpoint committed as
+  SimDuration stop_time = 0;   // application pause
+  SimDuration quiesce_time = 0;
+  SimDuration os_serialize_time = 0;  // Table 7's "OS state" row
+  SimDuration shadow_time = 0;        // Table 7's "Memory" row (COW arming)
+  SimTime durable_at = 0;      // simulated time the checkpoint became durable
+  uint64_t pages_flushed = 0;
+  uint64_t bytes_flushed = 0;
+  SerializeStats os_state;
+};
+
+struct RestoreResult {
+  ConsistencyGroup* group = nullptr;
+  uint64_t epoch = 0;
+  SimDuration restore_time = 0;
+};
+
+class Sls {
+ public:
+  Sls(SimContext* sim, Kernel* kernel, ObjectStore* store, AuroraFs* fs);
+  ~Sls();
+
+  // --- Consistency groups (sls attach / detach / ps) -----------------------
+  Result<ConsistencyGroup*> CreateGroup(const std::string& name);
+  ConsistencyGroup* FindGroup(const std::string& name);
+  Status Attach(ConsistencyGroup* group, Process* proc);
+  Status Detach(Process* proc);  // makes the process ephemeral-like: leaves the group
+  std::vector<ConsistencyGroup*> Groups();
+
+  // --- Checkpoint / restore --------------------------------------------------
+  Result<CheckpointResult> Checkpoint(ConsistencyGroup* group, const std::string& name = "",
+                                      CheckpointMode mode = CheckpointMode::kFull);
+
+  // Drives the group's periodic transparent persistence (the default 100x
+  // per second) on the simulation's event queue: a checkpoint fires every
+  // `group->period`, never before the previous flush completed, until
+  // StopPeriodicCheckpoints (or process teardown). This is what `sls attach`
+  // arms in the paper.
+  void StartPeriodicCheckpoints(ConsistencyGroup* group);
+  void StopPeriodicCheckpoints(ConsistencyGroup* group);
+  // epoch 0 = newest checkpoint with a manifest for this group.
+  Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
+                                RestoreMode mode = RestoreMode::kFull);
+
+  // sls suspend / resume: checkpoint, then tear the processes down; restore
+  // later (possibly after reboot).
+  Result<CheckpointResult> Suspend(ConsistencyGroup* group);
+  Result<RestoreResult> ResumeSuspended(const std::string& group_name,
+                                        RestoreMode mode = RestoreMode::kFull);
+
+  // --- Aurora API (Table 3) ----------------------------------------------------
+  // sls_memckpt: atomic asynchronous checkpoint of the region containing
+  // `addr`, without whole-application serialization.
+  Result<CheckpointResult> MemCheckpoint(Process* proc, uint64_t addr);
+  // sls_journal: non-COW synchronous journal objects.
+  Result<Oid> JournalCreate(uint64_t capacity_bytes);
+  Status JournalAppend(Oid journal, const void* data, uint64_t len);
+  Status JournalReset(Oid journal);
+  Result<std::vector<std::vector<uint8_t>>> JournalReplay(Oid journal);
+  // sls_barrier: wait until the group's last checkpoint is durable.
+  Status Barrier(ConsistencyGroup* group);
+  // sls_mctl: include/exclude a memory region from checkpoints.
+  Status MemCtl(Process* proc, uint64_t addr, bool exclude);
+  // sls_fdctl: per-descriptor external synchrony control.
+  Status FdCtl(Process* proc, int fd, bool disable_external_sync);
+
+  // --- Memory overcommitment (paper section 6) -----------------------------
+  // Evicts up to `target_pages` resident pages whose contents are already
+  // durable in the store (clean pages first, per the paging policy). The
+  // evicted objects get store-backed pagers, so later faults stream the
+  // pages back in — the swap path and the checkpoint path are one.
+  struct EvictStats {
+    uint64_t clean_evicted = 0;
+    uint64_t objects_paged = 0;
+  };
+  Result<EvictStats> EvictPages(ConsistencyGroup* group, uint64_t target_pages);
+  // Enables the unified swap path: checkpoint flushes drop pages from memory
+  // once durable (see ConsistencyGroup::evict_after_flush).
+  void SetMemoryPressure(ConsistencyGroup* group, bool enabled) {
+    group->evict_after_flush = enabled;
+  }
+
+  // --- External synchrony -------------------------------------------------------
+  // Sends on group-external sockets buffer here until the covering
+  // checkpoint commits (unless disabled for the socket or the group).
+  Result<uint64_t> SendExternal(ConsistencyGroup* group, const std::shared_ptr<Socket>& socket,
+                                const void* data, uint64_t len);
+
+  // --- Introspection ---------------------------------------------------------------
+  // Locates the manifest for `group_name` at `epoch` (0 = latest).
+  Result<std::pair<uint64_t, Oid>> FindManifest(const std::string& group_name, uint64_t epoch);
+  std::vector<CheckpointInfo> ListCheckpoints() const { return store_->ListCheckpoints(); }
+
+  SimContext* sim() { return sim_; }
+  Kernel* kernel() { return kernel_; }
+  ObjectStore* store() { return store_; }
+  AuroraFs* fs() { return fs_; }
+
+ private:
+  Oid EnsureMemoryOid(VmObject* obj);
+  std::vector<VmMap*> GroupMaps(ConsistencyGroup* group);
+  Result<SimTime> FlushMemoryObject(Oid oid, VmObject* obj, uint64_t* pages, uint64_t* bytes);
+  // Walks entry + shm chains, flushing never-persisted lower links.
+  Result<SimTime> FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* pages,
+                                         uint64_t* bytes);
+  void ReleasePendingSends(ConsistencyGroup* group);
+  // Wraps every restored top object in a live shadow so the next checkpoint
+  // is incremental rather than a full rewrite.
+  void WrapRestoredTops(ConsistencyGroup* group);
+
+  SimContext* sim_;
+  Kernel* kernel_;
+  ObjectStore* store_;
+  AuroraFs* fs_;
+
+  uint64_t next_group_id_ = 1;
+  std::vector<std::unique_ptr<ConsistencyGroup>> groups_;
+
+  // In-memory snapshot objects per group (oid -> frozen object), for
+  // RestoreMode::kFromMemory and collapse bookkeeping.
+  std::map<ConsistencyGroup*, std::map<uint64_t, std::shared_ptr<VmObject>>> snapshots_;
+  std::map<ConsistencyGroup*, std::vector<uint8_t>> last_manifest_blobs_;
+  std::map<ConsistencyGroup*, SimTime> last_durable_;
+  // Completion time of an in-progress eager restore's read stream.
+  std::shared_ptr<SimTime> full_restore_done_;
+
+  void ScheduleNextPeriodic(ConsistencyGroup* group, std::shared_ptr<bool> alive);
+  std::map<ConsistencyGroup*, std::shared_ptr<bool>> periodic_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_SLS_H_

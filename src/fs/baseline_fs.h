@@ -1,0 +1,84 @@
+// Baseline file systems for the Fig. 3 comparison.
+//
+// FfsLikeFs models FFS with soft-updates journaling (SU+J): in-place block
+// writes, an optimized small-write path using fragments, and fsync that
+// flushes the file's dirty blocks plus a small journal record.
+//
+// ZfsLikeFs models ZFS: copy-on-write block remapping, optional end-to-end
+// checksumming (really computed, Fletcher-style), merkle metadata updates,
+// and fsync through a ZFS intent log (ZIL) instead of a full transaction
+// group commit.
+#ifndef SRC_FS_BASELINE_FS_H_
+#define SRC_FS_BASELINE_FS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/fs/buffered_fs.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+
+// Common backing-block management: files map (ino, block_idx) to device
+// extents carved from a bump allocator.
+class DeviceBackedFs : public BufferedFs {
+ public:
+  DeviceBackedFs(SimContext* sim, BlockDevice* device, uint32_t fs_block_size)
+      : BufferedFs(sim, fs_block_size), device_(device) {}
+
+ protected:
+  uint64_t AllocateIno(const std::string& path) override;
+  Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) override;
+
+  // Allocates device LBAs for one fs block.
+  uint64_t AllocDeviceRun();
+  uint32_t DevBlocksPerFsBlock() const { return fs_block_size() / device_->block_size(); }
+
+  BlockDevice* device_;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> placement_;  // (ino, blk) -> lba
+  uint64_t next_lba_ = 64;  // leave room for a superblock area
+  uint64_t next_ino_ = 1;
+};
+
+class FfsLikeFs : public DeviceBackedFs {
+ public:
+  using DeviceBackedFs::DeviceBackedFs;
+
+  std::string name() const override { return "ffs+suj"; }
+
+ protected:
+  void ChargeCreate() override;
+  void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) override;
+  Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
+  Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) override;
+
+ private:
+  // Bytes written since the last fsync: soft updates let fsync write just
+  // the new data plus one journal record.
+  uint64_t pending_bytes_ = 0;
+};
+
+class ZfsLikeFs : public DeviceBackedFs {
+ public:
+  ZfsLikeFs(SimContext* sim, BlockDevice* device, uint32_t fs_block_size, bool checksums)
+      : DeviceBackedFs(sim, device, fs_block_size), checksums_(checksums) {}
+
+  std::string name() const override { return checksums_ ? "zfs+csum" : "zfs"; }
+
+ protected:
+  void ChargeCreate() override;
+  void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) override;
+  Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
+  Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) override;
+
+ private:
+  bool checksums_;
+  // Bytes written since the last intent-log commit: the ZIL logs deltas,
+  // while the dirty blocks wait for the transaction group.
+  uint64_t zil_pending_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_FS_BASELINE_FS_H_

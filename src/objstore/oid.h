@@ -1,0 +1,33 @@
+// 64-bit object identifiers for the Aurora object store.
+//
+// Every persistent entity — POSIX object records, memory regions, files —
+// is one store object named by an Oid. The SLS maintains the kernel-address
+// to Oid mapping so each object serializes exactly once per checkpoint.
+#ifndef SRC_OBJSTORE_OID_H_
+#define SRC_OBJSTORE_OID_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace aurora {
+
+struct Oid {
+  uint64_t value = 0;
+
+  constexpr bool valid() const { return value != 0; }
+  constexpr bool operator==(const Oid&) const = default;
+  constexpr bool operator<(const Oid& other) const { return value < other.value; }
+};
+
+inline constexpr Oid kInvalidOid{};
+
+}  // namespace aurora
+
+template <>
+struct std::hash<aurora::Oid> {
+  size_t operator()(const aurora::Oid& oid) const noexcept {
+    return std::hash<uint64_t>()(oid.value);
+  }
+};
+
+#endif  // SRC_OBJSTORE_OID_H_

@@ -1,0 +1,100 @@
+// Kernel file objects: the entities file descriptors reference.
+//
+// POSIX hides an object hierarchy behind the integer fd: descriptors in
+// different processes may share one open-file entry (fork/dup/SCM_RIGHTS)
+// whose offset is shared, while separate opens of the same file share only
+// the vnode. Aurora's POSIX object model persists each node of this graph
+// exactly once, so the graph is represented explicitly here.
+#ifndef SRC_POSIX_FILE_H_
+#define SRC_POSIX_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace aurora {
+
+enum class FileType : uint8_t {
+  kVnode,
+  kPipe,
+  kSocket,
+  kKqueue,
+  kPty,
+  kShm,
+  kDevice,
+};
+
+const char* FileTypeName(FileType t);
+
+// Base class for every kernel object a descriptor can reference. The
+// kernel_id is the analog of the object's kernel address: the SLS keys its
+// serialized-exactly-once table with it.
+class FileObject {
+ public:
+  FileObject();
+  virtual ~FileObject() = default;
+
+  FileObject(const FileObject&) = delete;
+  FileObject& operator=(const FileObject&) = delete;
+
+  virtual FileType type() const = 0;
+  uint64_t kernel_id() const { return kernel_id_; }
+
+ private:
+  static uint64_t next_kernel_id_;
+  uint64_t kernel_id_;
+};
+
+// Open-file table entry (FreeBSD `struct file`): shared by all descriptors
+// that were created from one open() and propagated via fork/dup/fd-passing.
+// The offset lives here, which is why a child's read moves the parent's
+// file position.
+struct FileDescription {
+  FileDescription();
+
+  std::shared_ptr<FileObject> object;
+  uint64_t offset = 0;
+  int open_flags = 0;  // O_RDONLY/O_WRONLY/O_RDWR | O_APPEND | ...
+  uint64_t kernel_id;  // identity of this open-file entry for checkpointing
+
+ private:
+  static uint64_t next_kernel_id_;
+};
+
+inline constexpr int kOpenRead = 1;
+inline constexpr int kOpenWrite = 2;
+inline constexpr int kOpenAppend = 4;
+
+// Per-process descriptor table.
+class FdTable {
+ public:
+  struct Slot {
+    std::shared_ptr<FileDescription> desc;
+    bool close_on_exec = false;
+  };
+
+  // Installs `desc` at the lowest free fd; returns the fd.
+  int Install(std::shared_ptr<FileDescription> desc, bool cloexec = false);
+  // dup2 semantics: closes `fd` if open, then installs there.
+  Status InstallAt(int fd, std::shared_ptr<FileDescription> desc, bool cloexec = false);
+
+  Result<std::shared_ptr<FileDescription>> Get(int fd) const;
+  Status Close(int fd);
+
+  Result<int> Dup(int fd);
+
+  // fork(): the table is copied, the descriptions are shared.
+  FdTable Clone() const;
+
+  const std::vector<Slot>& slots() const { return slots_; }
+  size_t OpenCount() const;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_POSIX_FILE_H_

@@ -1,0 +1,35 @@
+#include "src/posix/ipc.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+Result<uint64_t> Pipe::Write(const void* data, uint64_t len) {
+  if (!read_open) {
+    return Status::Error(Errc::kBadState, "EPIPE: read end closed");
+  }
+  uint64_t room = kCapacity - buffer.size();
+  if (room == 0) {
+    return Status::Error(Errc::kWouldBlock, "pipe full");
+  }
+  uint64_t n = std::min(len, room);
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer.insert(buffer.end(), p, p + n);
+  return n;
+}
+
+Result<uint64_t> Pipe::Read(void* out, uint64_t len) {
+  if (buffer.empty()) {
+    if (!write_open) {
+      return uint64_t{0};  // EOF
+    }
+    return Status::Error(Errc::kWouldBlock, "pipe empty");
+  }
+  uint64_t n = std::min<uint64_t>(len, buffer.size());
+  auto* p = static_cast<uint8_t*>(out);
+  std::copy_n(buffer.begin(), n, p);
+  buffer.erase(buffer.begin(), buffer.begin() + static_cast<long>(n));
+  return n;
+}
+
+}  // namespace aurora

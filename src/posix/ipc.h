@@ -1,0 +1,125 @@
+// Pipes, kqueues, pseudoterminals and shared memory objects.
+//
+// Each of these is a first-class POSIX object: the SLS serializes the state
+// declared here directly (Table 4 measures exactly these paths).
+#ifndef SRC_POSIX_IPC_H_
+#define SRC_POSIX_IPC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/posix/file.h"
+#include "src/vm/vm_object.h"
+
+namespace aurora {
+
+class Pipe : public FileObject {
+ public:
+  static constexpr size_t kCapacity = 64 * 1024;
+
+  FileType type() const override { return FileType::kPipe; }
+
+  Result<uint64_t> Write(const void* data, uint64_t len);
+  Result<uint64_t> Read(void* out, uint64_t len);
+
+  bool read_open = true;
+  bool write_open = true;
+  std::deque<uint8_t> buffer;
+};
+
+// kevent registration entry, mirroring struct kevent.
+struct KEvent {
+  uint64_t ident = 0;
+  int16_t filter = 0;
+  uint16_t flags = 0;
+  uint32_t fflags = 0;
+  int64_t data = 0;
+  uint64_t udata = 0;
+};
+
+class Kqueue : public FileObject {
+ public:
+  FileType type() const override { return FileType::kKqueue; }
+
+  void Register(const KEvent& ev) { events_.push_back(ev); }
+  const std::vector<KEvent>& events() const { return events_; }
+  std::vector<KEvent>& events() { return events_; }
+
+ private:
+  std::vector<KEvent> events_;
+};
+
+// Master+slave pseudoterminal pair represented as one kernel object; the
+// two descriptions reference it with a side flag in their open_flags.
+class Pseudoterminal : public FileObject {
+ public:
+  FileType type() const override { return FileType::kPty; }
+
+  int index = 0;              // /dev/pts/<index>
+  uint32_t termios_iflag = 0x2d02;  // cooked-mode defaults
+  uint32_t termios_oflag = 0x5;
+  uint32_t termios_cflag = 0x4b00;
+  uint32_t termios_lflag = 0x8a3b;
+  uint16_t ws_rows = 24;
+  uint16_t ws_cols = 80;
+  uint64_t session_sid = 0;  // controlling session
+  std::deque<uint8_t> input;   // keyboard -> slave
+  std::deque<uint8_t> output;  // slave -> display
+};
+
+// POSIX (shm_open) or System V (shmget) shared memory. The descriptor holds
+// a backmap reference to the current VM object; system shadowing rebinds it
+// so future mappings use the latest shadow (paper section 6).
+class SharedMemory : public FileObject {
+ public:
+  enum class Kind : uint8_t { kPosix, kSysV };
+
+  explicit SharedMemory(Kind kind) : kind_(kind) {}
+
+  FileType type() const override { return FileType::kShm; }
+  Kind kind() const { return kind_; }
+
+  std::string name;    // POSIX: shm_open name
+  int32_t key = 0;     // SysV: ftok key
+  int32_t shmid = 0;   // SysV: id within the global namespace
+  uint32_t mode = 0600;
+  uint64_t size = 0;
+  std::shared_ptr<VmObject> object;
+
+ private:
+  Kind kind_;
+};
+
+// Memory-mapped device files (HPET, vDSO). Only whitelisted devices may be
+// held by persistent processes; their contents are reinjected at restore
+// rather than checkpointed (paper section 5.3).
+class DeviceFile : public FileObject {
+ public:
+  FileType type() const override { return FileType::kDevice; }
+
+  std::string devname;
+  bool whitelisted = false;
+  std::shared_ptr<VmObject> device_memory;
+};
+
+// Asynchronous I/O request tracked for quiescing: writes delay checkpoint
+// completion until incorporated; reads are reissued during restore.
+struct AioRequest {
+  enum class Op : uint8_t { kRead, kWrite };
+  enum class State : uint8_t { kInFlight, kDone, kFailed };
+
+  uint64_t id = 0;
+  int fd = -1;
+  Op op = Op::kRead;
+  State state = State::kInFlight;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_POSIX_IPC_H_

@@ -1,0 +1,24 @@
+#include "src/posix/process.h"
+
+#include "src/posix/kernel.h"
+
+namespace aurora {
+
+Process::Process(Kernel* kernel, uint64_t pid, uint64_t local_pid, std::string name)
+    : pgid(pid),
+      sid(pid),
+      kernel_(kernel),
+      pid_(pid),
+      local_pid_(local_pid),
+      name_(std::move(name)),
+      vm_(std::make_unique<VmMap>(kernel->sim())) {}
+
+Thread& Process::AddThread() {
+  auto tid = kernel_->AllocateTid();
+  // Tid exhaustion is not a recoverable application error in the simulator.
+  uint64_t id = tid.ok() ? *tid : 0;
+  threads_.push_back(std::make_unique<Thread>(id, id));
+  return *threads_.back();
+}
+
+}  // namespace aurora

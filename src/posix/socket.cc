@@ -1,0 +1,131 @@
+#include "src/posix/socket.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+Status Socket::Bind(const SockAddr& addr) {
+  if (state != SocketState::kCreated) {
+    return Status::Error(Errc::kBadState, "socket already bound");
+  }
+  local = addr;
+  state = SocketState::kBound;
+  return Status::Ok();
+}
+
+Status Socket::Listen(int backlog_hint) {
+  if (proto_ != SocketProto::kTcp && domain_ != SocketDomain::kUnix) {
+    return Status::Error(Errc::kNotSupported, "listen on datagram socket");
+  }
+  if (state != SocketState::kBound) {
+    return Status::Error(Errc::kBadState, "listen before bind");
+  }
+  backlog = backlog_hint;
+  state = SocketState::kListening;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Socket>> Socket::ConnectTo(const std::shared_ptr<Socket>& listener) {
+  if (listener->state != SocketState::kListening) {
+    return Status::Error(Errc::kBadState, "connect to non-listening socket");
+  }
+  if (static_cast<int>(listener->accept_queue.size()) >= std::max(listener->backlog, 1)) {
+    // SYN dropped: the client retries. This is also what a restored
+    // listening socket looks like to clients (paper section 5.3).
+    return Status::Error(Errc::kWouldBlock, "accept queue full (SYN dropped)");
+  }
+  auto server_end = std::make_shared<Socket>(domain_, proto_);
+  server_end->state = SocketState::kConnected;
+  server_end->local = listener->local;
+  server_end->peer_addr = local;
+  server_end->peer = weak_from_this();
+  server_end->snd_seq = 1;  // post-handshake ISNs
+  server_end->rcv_seq = 1;
+
+  state = SocketState::kConnected;
+  peer_addr = listener->local;
+  peer = server_end;
+  snd_seq = 1;
+  rcv_seq = 1;
+
+  listener->accept_queue.push_back(server_end);
+  return server_end;
+}
+
+Result<std::shared_ptr<Socket>> Socket::Accept() {
+  if (state != SocketState::kListening) {
+    return Status::Error(Errc::kBadState, "accept on non-listening socket");
+  }
+  if (accept_queue.empty()) {
+    return Status::Error(Errc::kWouldBlock, "no pending connections");
+  }
+  auto sock = accept_queue.front();
+  accept_queue.pop_front();
+  return sock;
+}
+
+Status Socket::DeliverTo(Socket& dst, SockSegment segment) {
+  if (dst.recv_bytes + segment.data.size() > kRecvCapacity) {
+    return Status::Error(Errc::kWouldBlock, "peer receive buffer full");
+  }
+  dst.recv_bytes += segment.data.size();
+  dst.recv_buf.push_back(std::move(segment));
+  return Status::Ok();
+}
+
+void Socket::Shutdown() {
+  if (auto dst = peer.lock()) {
+    dst->peer_shutdown = true;
+  }
+  state = SocketState::kClosed;
+}
+
+Result<uint64_t> Socket::Send(const void* data, uint64_t len,
+                              std::optional<ControlMessage> control) {
+  auto dst = peer.lock();
+  if (dst == nullptr || state != SocketState::kConnected) {
+    return Status::Error(Errc::kBadState, "send on unconnected socket");
+  }
+  if (dst->state == SocketState::kClosed) {
+    return Status::Error(Errc::kBadState, "EPIPE: peer closed");
+  }
+  if (control.has_value() && domain_ != SocketDomain::kUnix) {
+    return Status::Error(Errc::kNotSupported, "control messages need a UNIX socket");
+  }
+  SockSegment segment;
+  const auto* p = static_cast<const uint8_t*>(data);
+  segment.data.assign(p, p + len);
+  segment.control = std::move(control);
+  segment.from = local;
+  AURORA_RETURN_IF_ERROR(DeliverTo(*dst, std::move(segment)));
+  if (proto_ == SocketProto::kTcp) {
+    snd_seq += static_cast<uint32_t>(len);
+    dst->rcv_seq += static_cast<uint32_t>(len);
+  }
+  return len;
+}
+
+Result<SockSegment> Socket::Recv(uint64_t max_len) {
+  if (recv_buf.empty()) {
+    if (peer_shutdown) {
+      return SockSegment{};  // EOF
+    }
+    return Status::Error(Errc::kWouldBlock, "no data");
+  }
+  SockSegment& front = recv_buf.front();
+  if (front.data.size() <= max_len || proto_ == SocketProto::kUdp) {
+    SockSegment segment = std::move(front);
+    recv_buf.pop_front();
+    recv_bytes -= segment.data.size();
+    return segment;
+  }
+  // Stream semantics: split the segment.
+  SockSegment partial;
+  partial.data.assign(front.data.begin(), front.data.begin() + static_cast<long>(max_len));
+  partial.from = front.from;
+  front.data.erase(front.data.begin(), front.data.begin() + static_cast<long>(max_len));
+  recv_bytes -= max_len;
+  return partial;
+}
+
+}  // namespace aurora

@@ -1,0 +1,117 @@
+// Sockets: UDP, TCP and UNIX domain, with the state the paper checkpoints.
+//
+// Transport is a loopback fabric: connected sockets hold weak references to
+// their peers and Send() appends to the peer's receive buffer. That is
+// enough to exercise every checkpoint path: socket buffers with in-flight
+// data, UNIX control messages carrying file descriptors (SCM_RIGHTS), TCP
+// sequence numbers/5-tuples, and listening sockets whose accept queue the
+// checkpoint deliberately drops (clients retransmit their SYN).
+#ifndef SRC_POSIX_SOCKET_H_
+#define SRC_POSIX_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/posix/file.h"
+
+namespace aurora {
+
+enum class SocketDomain : uint8_t { kInet, kUnix };
+enum class SocketProto : uint8_t { kTcp, kUdp };
+enum class SocketState : uint8_t { kCreated, kBound, kListening, kConnected, kClosed };
+
+struct SockAddr {
+  uint32_t ip = 0;
+  uint16_t port = 0;
+  std::string path;  // UNIX domain
+
+  bool operator==(const SockAddr&) const = default;
+};
+
+// Ancillary data on UNIX sockets: passed descriptors and credentials. The
+// checkpointer parses buffered segments for these so in-flight descriptors
+// are captured (paper section 5.3).
+struct ControlMessage {
+  std::vector<std::shared_ptr<FileDescription>> fds;
+  uint64_t cred_pid = 0;
+};
+
+struct SockSegment {
+  std::vector<uint8_t> data;
+  std::optional<ControlMessage> control;
+  SockAddr from;  // UDP source
+};
+
+class Socket : public FileObject, public std::enable_shared_from_this<Socket> {
+ public:
+  Socket(SocketDomain domain, SocketProto proto) : domain_(domain), proto_(proto) {}
+
+  FileType type() const override { return FileType::kSocket; }
+
+  SocketDomain domain() const { return domain_; }
+  SocketProto proto() const { return proto_; }
+
+  SocketState state = SocketState::kCreated;
+  SockAddr local;
+  SockAddr peer_addr;
+  std::map<int, int> options;
+
+  // TCP connection state (saved/restored for established connections).
+  uint32_t snd_seq = 0;
+  uint32_t rcv_seq = 0;
+
+  // Listening state. The accept queue is NOT checkpointed.
+  int backlog = 0;
+  std::deque<std::shared_ptr<Socket>> accept_queue;
+
+  // Receive buffer (bytes that arrived but were not yet read).
+  std::deque<SockSegment> recv_buf;
+  uint64_t recv_bytes = 0;
+  static constexpr uint64_t kRecvCapacity = 256 * 1024;
+
+  // External synchrony control (sls_fdctl): when disabled, sends bypass the
+  // consistency group's commit buffer.
+  bool external_sync_disabled = false;
+
+  // Loopback transport peer.
+  std::weak_ptr<Socket> peer;
+
+  // --- Operations ---------------------------------------------------------
+  Status Bind(const SockAddr& addr);
+  Status Listen(int backlog_hint);
+
+  // Establishes a connection to a listening socket: creates the server-side
+  // endpoint and places it on the accept queue.
+  Result<std::shared_ptr<Socket>> ConnectTo(const std::shared_ptr<Socket>& listener);
+  Result<std::shared_ptr<Socket>> Accept();
+
+  // Datagram/stream send to the connected peer. Returns bytes queued.
+  Result<uint64_t> Send(const void* data, uint64_t len,
+                        std::optional<ControlMessage> control = std::nullopt);
+  // Receives one segment (datagram) or up to len stream bytes. A peer that
+  // shut down yields a zero-length segment (EOF) once the buffer drains.
+  Result<SockSegment> Recv(uint64_t max_len);
+
+  // shutdown(2)/close(2): stops transmission and signals EOF to the peer.
+  // Buffered data stays readable; further sends fail with EPIPE-like errors.
+  void Shutdown();
+  bool peer_shutdown = false;  // the remote end closed its write side
+
+  bool HasData() const { return !recv_buf.empty(); }
+
+ private:
+  Status DeliverTo(Socket& dst, SockSegment segment);
+
+  SocketDomain domain_;
+  SocketProto proto_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_POSIX_SOCKET_H_

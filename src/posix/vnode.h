@@ -1,0 +1,93 @@
+// Vnodes and the virtual file system interface.
+//
+// A Vnode is the kernel-side identity of a file: multiple open() calls on
+// one path produce distinct FileDescriptions sharing one Vnode. Filesystems
+// (AuroraFS and the Fig. 3 baselines) implement the Filesystem interface and
+// charge the cost model inside their own read/write paths.
+#ifndef SRC_POSIX_VNODE_H_
+#define SRC_POSIX_VNODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/posix/file.h"
+#include "src/vm/vm_object.h"
+
+namespace aurora {
+
+class Filesystem;
+
+class Vnode : public FileObject {
+ public:
+  Vnode(Filesystem* fs, uint64_t ino) : fs_(fs), ino_(ino) {}
+
+  FileType type() const override { return FileType::kVnode; }
+
+  Filesystem* fs() const { return fs_; }
+  uint64_t ino() const { return ino_; }
+  uint64_t size() const { return size_; }
+  void set_size(uint64_t s) { size_ = s; }
+  uint32_t nlink() const { return nlink_; }
+  void set_nlink(uint32_t n) { nlink_ = n; }
+
+  // Hidden references held by Aurora: open descriptors and checkpoint
+  // objects keep an unlinked ("anonymous") file alive across crashes, which
+  // conventional file systems reclaim (paper section 5.2).
+  uint32_t hidden_refs() const { return hidden_refs_; }
+  void AddHiddenRef() { hidden_refs_++; }
+  void DropHiddenRef() {
+    if (hidden_refs_ > 0) {
+      hidden_refs_--;
+    }
+  }
+
+  Result<uint64_t> Read(uint64_t off, void* out, uint64_t len);
+  Result<uint64_t> Write(uint64_t off, const void* data, uint64_t len);
+  Status Truncate(uint64_t new_size);
+  Status Fsync();
+
+  // Builds a VM object whose pager demand-loads pages from this vnode, for
+  // mmap. MAP_PRIVATE callers shadow the returned object.
+  std::shared_ptr<VmObject> MakeVmObject();
+
+ private:
+  Filesystem* fs_;
+  uint64_t ino_;
+  uint64_t size_ = 0;
+  uint32_t nlink_ = 1;
+  uint32_t hidden_refs_ = 0;
+};
+
+class Filesystem {
+ public:
+  virtual ~Filesystem() = default;
+
+  virtual std::string name() const = 0;
+
+  // Namespace operations. Paths are flat names (the benchmarks and the SLS
+  // need a namespace, not a hierarchy).
+  virtual Result<std::shared_ptr<Vnode>> Create(const std::string& path) = 0;
+  virtual Result<std::shared_ptr<Vnode>> Lookup(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual std::vector<std::string> List() const = 0;
+
+  // Aurora checkpoints vnodes by inode number to avoid name-cache lookups
+  // during stop time; baselines resolve paths (bench_ablations measures the
+  // difference).
+  virtual Result<std::shared_ptr<Vnode>> LookupByIno(uint64_t ino) = 0;
+  virtual Result<std::string> PathOfIno(uint64_t ino) const = 0;
+
+  // Data operations.
+  virtual Result<uint64_t> ReadAt(Vnode* vn, uint64_t off, void* out, uint64_t len) = 0;
+  virtual Result<uint64_t> WriteAt(Vnode* vn, uint64_t off, const void* data, uint64_t len) = 0;
+  virtual Status Truncate(Vnode* vn, uint64_t new_size) = 0;
+  virtual Status Fsync(Vnode* vn) = 0;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_POSIX_VNODE_H_

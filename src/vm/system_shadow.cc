@@ -1,0 +1,142 @@
+#include "src/vm/system_shadow.h"
+
+#include <map>
+#include <set>
+
+namespace aurora {
+
+namespace {
+
+bool ShouldShadow(const VmMapEntry& entry) {
+  if (entry.exclude_from_checkpoint) {
+    return false;
+  }
+  if ((entry.prot & kProtWrite) == 0) {
+    return false;
+  }
+  const VmObject* obj = entry.object.get();
+  // Vnode-backed mappings persist through the file system's own COW; device
+  // memory is recreated at restore (vDSO/HPET injection).
+  return obj->type() == VmObjectType::kAnonymous && !obj->exclude_from_checkpoint();
+}
+
+// Repoints every map entry whose top object is `old_top` to `new_top` and
+// write-protects the affected translations. Read mappings of the frozen
+// pages remain valid (they are immutable now); the first write per page
+// faults and copies into the new shadow.
+uint64_t RebindEntries(VmObject* old_top, const std::shared_ptr<VmObject>& new_top,
+                       const std::vector<VmMap*>& maps, SimContext* sim) {
+  uint64_t protected_ptes = 0;
+  for (VmMap* map : maps) {
+    for (auto& [start, entry] : map->entries()) {
+      if (entry.object.get() == old_top) {
+        entry.object = new_top;
+        protected_ptes +=
+            map->pmap().WriteProtectRange(entry.start, entry.end, sim->cost, &sim->clock);
+      }
+    }
+  }
+  return protected_ptes;
+}
+
+}  // namespace
+
+std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, SimContext* sim,
+                                            const ShadowRebindFn& rebind,
+                                            SystemShadowStats* stats) {
+  // Pass 1: collect the distinct writable top objects across the group.
+  // Using a set keyed by object pointer makes each object shadowed exactly
+  // once no matter how many processes or entries share it.
+  std::map<VmObject*, std::shared_ptr<VmObject>> tops;
+  for (VmMap* map : maps) {
+    for (auto& [start, entry] : map->entries()) {
+      if (ShouldShadow(entry)) {
+        tops.emplace(entry.object.get(), entry.object);
+      }
+    }
+  }
+
+  std::vector<ShadowPair> pairs;
+  pairs.reserve(tops.size());
+  for (auto& [raw, top] : tops) {
+    auto shadow = VmObject::CreateShadow(top);
+    shadow->set_sls_oid(top->sls_oid());  // same logical region on disk
+    top->Freeze();
+    sim->clock.Advance(sim->cost.small_alloc + sim->cost.lock_acquire);
+    uint64_t invalidated = RebindEntries(raw, shadow, maps, sim);
+    if (rebind) {
+      rebind(raw, shadow);
+    }
+    if (stats != nullptr) {
+      stats->objects_shadowed++;
+      stats->ptes_invalidated += invalidated;
+    }
+    pairs.push_back(ShadowPair{top, shadow});
+  }
+
+  // One TLB shootdown round per address space covers all the ranges
+  // invalidated above (batched IPIs, as the kernel does).
+  for (size_t i = 0; i < maps.size(); i++) {
+    sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
+    if (stats != nullptr) {
+      stats->tlb_shootdowns++;
+    }
+  }
+  return pairs;
+}
+
+ShadowPair ShadowOneObject(std::shared_ptr<VmObject> top, const std::vector<VmMap*>& maps,
+                           SimContext* sim, const ShadowRebindFn& rebind) {
+  auto shadow = VmObject::CreateShadow(top);
+  shadow->set_sls_oid(top->sls_oid());
+  top->Freeze();
+  sim->clock.Advance(sim->cost.small_alloc + sim->cost.lock_acquire);
+  RebindEntries(top.get(), shadow, maps, sim);
+  if (rebind) {
+    rebind(top.get(), shadow);
+  }
+  sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
+  return ShadowPair{top, shadow};
+}
+
+bool CollapseAfterFlush(const ShadowPair& pair, const std::vector<VmMap*>& maps, bool reversed,
+                        SimContext* sim) {
+  const std::shared_ptr<VmObject>& frozen = pair.frozen;
+  VmObject* base = frozen->parent();
+  if (base == nullptr) {
+    return false;  // first checkpoint of this region: nothing below to merge
+  }
+  if (base->shadow_count() != 1) {
+    return false;  // fork-shared base: merging would break sharing
+  }
+  if (base->sls_oid() != frozen->sls_oid()) {
+    return false;  // different logical region on disk (fork shadow boundary)
+  }
+  // Frames are about to move between objects; drop any translations that
+  // reference them. This TLB pressure after collapses is the runtime
+  // overhead the paper's reversed collapse minimizes.
+  for (VmMap* map : maps) {
+    map->pmap().InvalidateObject(frozen.get(), sim->cost, &sim->clock);
+    map->pmap().InvalidateObject(base, sim->cost, &sim->clock);
+  }
+  if (reversed) {
+    std::shared_ptr<VmObject> keep = frozen->parent_ref();
+    if (!frozen->CollapseReversedIntoParent(sim->cost, &sim->clock).ok()) {
+      return false;
+    }
+    // Splice the emptied shadow out by repointing the live top at the base,
+    // and detach it from the chain so stray references to it (debuggers,
+    // in-flight flush records) cannot keep the base's shadow count elevated.
+    pair.live->ReplaceParent(keep);
+    frozen->ReplaceParent(nullptr);
+  } else {
+    if (!frozen->CollapseClassic(sim->cost, &sim->clock).ok()) {
+      return false;
+    }
+    // Classic direction: the frozen shadow absorbed the base and spliced it
+    // out itself; the live top already points at the frozen shadow.
+  }
+  return true;
+}
+
+}  // namespace aurora

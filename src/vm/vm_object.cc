@@ -1,0 +1,184 @@
+#include "src/vm/vm_object.h"
+
+#include <cstring>
+#include <utility>
+
+namespace aurora {
+
+uint64_t VmObject::next_id_ = 1;
+
+VmObject::VmObject(VmObjectType type, uint64_t size) : id_(next_id_++), type_(type), size_(size) {}
+
+VmObject::~VmObject() {
+  if (parent_) {
+    parent_->shadow_count_--;
+  }
+}
+
+void VmObject::SetParent(std::shared_ptr<VmObject> parent) {
+  if (parent_) {
+    parent_->shadow_count_--;
+  }
+  parent_ = std::move(parent);
+  if (parent_) {
+    parent_->shadow_count_++;
+  }
+}
+
+std::shared_ptr<VmObject> VmObject::CreateAnonymous(uint64_t size) {
+  return std::shared_ptr<VmObject>(new VmObject(VmObjectType::kAnonymous, size));
+}
+
+std::shared_ptr<VmObject> VmObject::CreateVnode(uint64_t size, Pager pager) {
+  auto obj = std::shared_ptr<VmObject>(new VmObject(VmObjectType::kVnode, size));
+  obj->pager_ = std::move(pager);
+  return obj;
+}
+
+std::shared_ptr<VmObject> VmObject::CreateDevice(uint64_t size) {
+  return std::shared_ptr<VmObject>(new VmObject(VmObjectType::kDevice, size));
+}
+
+std::shared_ptr<VmObject> VmObject::CreateShadow(std::shared_ptr<VmObject> parent) {
+  auto shadow = std::shared_ptr<VmObject>(new VmObject(VmObjectType::kAnonymous, parent->size()));
+  shadow->SetParent(std::move(parent));
+  return shadow;
+}
+
+VmPage* VmObject::LookupLocal(uint64_t pgidx) {
+  auto it = pages_.find(pgidx);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+const VmPage* VmObject::LookupLocal(uint64_t pgidx) const {
+  auto it = pages_.find(pgidx);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+VmObject::LookupResult VmObject::LookupChain(uint64_t pgidx) {
+  LookupResult result;
+  VmObject* obj = this;
+  while (obj != nullptr) {
+    if (VmPage* page = obj->LookupLocal(pgidx)) {
+      result.page = page;
+      result.owner = obj;
+      return result;
+    }
+    if (obj->pager_) {
+      // Fault the page in from backing storage into the pager's object; it
+      // is then resident like any other page.
+      auto frame = std::make_unique<VmPage>();
+      if (obj->pager_(pgidx, frame->data.data())) {
+        VmPage* raw = frame.get();
+        obj->pages_[pgidx] = std::move(frame);
+        result.page = raw;
+        result.owner = obj;
+        return result;
+      }
+    }
+    obj = obj->parent_.get();
+    result.chain_depth++;
+  }
+  return result;
+}
+
+Result<VmPage*> VmObject::EnsureLocalPage(uint64_t pgidx) {
+  if (frozen_) {
+    return Status::Error(Errc::kBadState, "write to frozen VM object");
+  }
+  if (VmPage* page = LookupLocal(pgidx)) {
+    return page;
+  }
+  auto frame = std::make_unique<VmPage>();
+  // Copy from below in the chain if a version exists; otherwise the frame
+  // stays zero-filled (anonymous memory semantics).
+  if (parent_ != nullptr || pager_) {
+    LookupResult below;
+    if (pager_) {
+      if (pager_(pgidx, frame->data.data())) {
+        below.page = nullptr;  // already copied by the pager
+      } else if (parent_ != nullptr) {
+        below = parent_->LookupChain(pgidx);
+      }
+    } else {
+      below = parent_->LookupChain(pgidx);
+    }
+    if (below.page != nullptr) {
+      std::memcpy(frame->data.data(), below.page->data.data(), kPageSize);
+    }
+  }
+  VmPage* raw = frame.get();
+  pages_[pgidx] = std::move(frame);
+  return raw;
+}
+
+VmPage* VmObject::InstallPage(uint64_t pgidx, const uint8_t* data) {
+  auto frame = std::make_unique<VmPage>();
+  std::memcpy(frame->data.data(), data, kPageSize);
+  VmPage* raw = frame.get();
+  pages_[pgidx] = std::move(frame);
+  return raw;
+}
+
+std::unique_ptr<VmPage> VmObject::TakePage(uint64_t pgidx) {
+  auto it = pages_.find(pgidx);
+  if (it == pages_.end()) {
+    return nullptr;
+  }
+  auto page = std::move(it->second);
+  pages_.erase(it);
+  return page;
+}
+
+void VmObject::RemovePage(uint64_t pgidx) { pages_.erase(pgidx); }
+
+Status VmObject::CollapseClassic(const CostModel& cost, SimClock* clock) {
+  if (parent_ == nullptr) {
+    return Status::Error(Errc::kBadState, "collapse without parent");
+  }
+  if (parent_->shadow_count_ != 1) {
+    return Status::Error(Errc::kBusy, "parent shared by other shadows");
+  }
+  std::shared_ptr<VmObject> parent = parent_;
+  // Move every parent page the shadow does not hide up into the shadow.
+  // This is the expensive direction: cost scales with the parent's
+  // residency, which for a freshly frozen checkpoint base is the whole
+  // application footprint.
+  for (auto it = parent->pages_.begin(); it != parent->pages_.end();) {
+    clock->Advance(cost.lock_acquire + cost.cacheline_miss);
+    if (pages_.count(it->first) == 0) {
+      pages_[it->first] = std::move(it->second);
+    }
+    it = parent->pages_.erase(it);
+  }
+  // Splice the parent out: inherit its parent and pager.
+  std::shared_ptr<VmObject> grandparent = parent->parent_;
+  if (!pager_ && parent->pager_) {
+    pager_ = parent->pager_;
+  }
+  SetParent(grandparent);
+  return Status::Ok();
+}
+
+Status VmObject::CollapseReversedIntoParent(const CostModel& cost, SimClock* clock) {
+  if (parent_ == nullptr) {
+    return Status::Error(Errc::kBadState, "collapse without parent");
+  }
+  if (parent_->shadow_count_ != 1) {
+    return Status::Error(Errc::kBusy, "parent shared by other shadows");
+  }
+  std::shared_ptr<VmObject> parent = parent_;
+  // Move this object's (few) pages *down*, overwriting the parent's stale
+  // versions. Cost scales with the shadow's residency — the pages dirtied
+  // in one checkpoint interval — which is why Aurora reverses the
+  // direction (paper section 6).
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    clock->Advance(cost.lock_acquire + cost.cacheline_miss);
+    parent->pages_[it->first] = std::move(it->second);
+    it = pages_.erase(it);
+  }
+  parent->frozen_ = false;
+  return Status::Ok();
+}
+
+}  // namespace aurora

@@ -1,0 +1,526 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/aurora_kv.h"
+#include "src/apps/kv_server.h"
+#include "src/apps/lsm_db.h"
+#include "src/apps/memtable.h"
+#include "src/apps/redis_like.h"
+#include "src/apps/sstable.h"
+#include "src/apps/workloads.h"
+#include "src/base/sim_context.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/fs/baseline_fs.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+namespace {
+
+struct AppMachine {
+  AppMachine() {
+    device = MakePaperTestbedStore(&sim.clock, 2 * kGiB);
+    store = *ObjectStore::Format(device.get(), &sim);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+  SimContext sim;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<AuroraFs> fs;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Sls> sls;
+};
+
+// --- MemTable ------------------------------------------------------------------
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : map_(&sim_) {
+    auto obj = VmObject::CreateAnonymous(4 * kMiB);
+    addr_ = *map_.Map(0x100000, 4 * kMiB, kProtRead | kProtWrite, obj, 0, false);
+    table_ = std::make_unique<MemTable>(&sim_, &map_, addr_, 4 * kMiB);
+  }
+  SimContext sim_;
+  VmMap map_;
+  uint64_t addr_ = 0;
+  std::unique_ptr<MemTable> table_;
+};
+
+TEST_F(MemTableTest, PutGetOverwrite) {
+  ASSERT_TRUE(table_->Put("alpha", "1").ok());
+  ASSERT_TRUE(table_->Put("beta", "2").ok());
+  EXPECT_EQ(*table_->Get("alpha"), "1");
+  ASSERT_TRUE(table_->Put("alpha", "updated").ok());
+  EXPECT_EQ(*table_->Get("alpha"), "updated");
+  EXPECT_FALSE(table_->Get("gamma").has_value());
+  EXPECT_EQ(table_->entry_count(), 2u);
+}
+
+TEST_F(MemTableTest, OrderedIteration) {
+  ASSERT_TRUE(table_->Put("c", "3").ok());
+  ASSERT_TRUE(table_->Put("a", "1").ok());
+  ASSERT_TRUE(table_->Put("b", "2").ok());
+  std::string order;
+  for (const auto& [k, loc] : table_->index()) {
+    order += k;
+  }
+  EXPECT_EQ(order, "abc");
+}
+
+TEST_F(MemTableTest, ArenaFullReported) {
+  std::string big(1 * kMiB, 'x');
+  ASSERT_TRUE(table_->Put("k1", big).ok());
+  ASSERT_TRUE(table_->Put("k2", big).ok());
+  ASSERT_TRUE(table_->Put("k3", big).ok());
+  EXPECT_EQ(table_->Put("k4", big).code(), Errc::kNoSpace);
+  EXPECT_TRUE(table_->Full(big.size()));
+}
+
+TEST_F(MemTableTest, RecoverFromArenaRebuildsIndex) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        table_->Put("key" + std::to_string(i), "value" + std::to_string(i * 3)).ok());
+  }
+  // Overwrites append new records; the scan must apply them in order.
+  ASSERT_TRUE(table_->Put("key7", "FINAL").ok());
+
+  MemTable rebuilt(&sim_, &map_, addr_, 4 * kMiB);
+  ASSERT_TRUE(rebuilt.RecoverFromArena().ok());
+  EXPECT_EQ(rebuilt.entry_count(), 200u);
+  EXPECT_EQ(*rebuilt.Get("key7"), "FINAL");
+  EXPECT_EQ(*rebuilt.Get("key199"), "value597");
+}
+
+TEST_F(MemTableTest, ClearResetsArena) {
+  ASSERT_TRUE(table_->Put("k", "v").ok());
+  table_->Clear();
+  EXPECT_EQ(table_->bytes_used(), 0u);
+  EXPECT_FALSE(table_->Get("k").has_value());
+  MemTable rebuilt(&sim_, &map_, addr_, 4 * kMiB);
+  ASSERT_TRUE(rebuilt.RecoverFromArena().ok());
+  EXPECT_EQ(rebuilt.entry_count(), 0u) << "the sentinel must stop the scan";
+}
+
+// --- SSTables --------------------------------------------------------------------
+
+class SstableTest : public ::testing::Test {
+ protected:
+  SstableTest() : device_(&sim_.clock, (256 * kMiB) / kPageSize), fs_(&sim_, &device_, 64 * kKiB) {}
+  SimContext sim_;
+  MemBlockDevice device_;
+  FfsLikeFs fs_;
+};
+
+TEST_F(SstableTest, WriteReadBack) {
+  auto file = *fs_.Create("t.sst");
+  SstableWriter writer(&sim_, file);
+  for (int i = 0; i < 500; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(writer.Add(key, "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = *SstableReader::Open(&sim_, file);
+  EXPECT_EQ(reader->entries(), 500u);
+  EXPECT_EQ(reader->smallest(), "k000000");
+  EXPECT_EQ(reader->largest(), "k000499");
+  auto hit = *reader->Get("k000123");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value-123");
+  auto miss = *reader->Get("k000500");
+  EXPECT_FALSE(miss.has_value());
+  auto absent = *reader->Get("zzz");
+  EXPECT_FALSE(absent.has_value());
+}
+
+TEST_F(SstableTest, RejectsOutOfOrderKeys) {
+  auto file = *fs_.Create("bad.sst");
+  SstableWriter writer(&sim_, file);
+  ASSERT_TRUE(writer.Add("b", "1").ok());
+  EXPECT_FALSE(writer.Add("a", "2").ok());
+  EXPECT_FALSE(writer.Add("b", "3").ok());  // duplicates rejected too
+}
+
+TEST_F(SstableTest, ForEachVisitsAllInOrder) {
+  auto file = *fs_.Create("scan.sst");
+  SstableWriter writer(&sim_, file);
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(writer.Add(key, "v").ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = *SstableReader::Open(&sim_, file);
+  std::string prev;
+  uint64_t seen = 0;
+  ASSERT_TRUE(reader
+                  ->ForEach([&](std::string_view k, std::string_view v) {
+                    EXPECT_GT(std::string(k), prev);
+                    EXPECT_EQ(v, "v");
+                    prev = std::string(k);
+                    seen++;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST_F(SstableTest, BloomFilterFiltersMisses) {
+  std::vector<uint8_t> bits(128, 0);
+  for (int i = 0; i < 50; i++) {
+    BloomAdd(&bits, SstKeyHash("present-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(BloomMayContain(bits, SstKeyHash("present-" + std::to_string(i))));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 1000; i++) {
+    false_positives += BloomMayContain(bits, SstKeyHash("absent-" + std::to_string(i))) ? 1 : 0;
+  }
+  EXPECT_LT(false_positives, 300) << "bloom filter should reject most absent keys";
+}
+
+TEST_F(SstableTest, CorruptFooterRejected) {
+  auto file = *fs_.Create("corrupt.sst");
+  SstableWriter writer(&sim_, file);
+  ASSERT_TRUE(writer.Add("a", "1").ok());
+  auto size = *writer.Finish();
+  uint8_t garbage[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_TRUE(file->Write(size - 4, garbage, 4).ok());  // smash the magic
+  EXPECT_FALSE(SstableReader::Open(&sim_, file).ok());
+}
+
+// --- LsmDb ------------------------------------------------------------------------
+
+class LsmDbTest : public ::testing::Test {
+ protected:
+  LsmDbTest() : device_(&sim_.clock, (512 * kMiB) / kPageSize), fs_(&sim_, &device_, 64 * kKiB) {}
+
+  LsmOptions SmallOptions() {
+    LsmOptions options;
+    options.memtable_bytes = 256 * kKiB;  // force flushes
+    options.wal_enabled = true;
+    options.wal_sync = false;
+    options.wal_flush_trigger = 10 * kMiB;
+    options.l0_compaction_trigger = 3;
+    return options;
+  }
+
+  SimContext sim_;
+  MemBlockDevice device_;
+  FfsLikeFs fs_;
+  Kernel kernel_{&sim_};
+};
+
+TEST_F(LsmDbTest, GetAcrossMemtableAndSstables) {
+  LsmOptions options = SmallOptions();
+  options.memtable_bytes = 48 * kKiB;  // force several flushes
+  LsmDb db(&sim_, &kernel_, &fs_, options);
+  // Enough data to force several flushes.
+  for (int i = 0; i < 3000; i++) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "key%08d", i);
+    ASSERT_TRUE(db.Put(key, "value-" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(db.stats().flushes, 0u);
+  EXPECT_GT(db.sstable_count(), 0u);
+  // Old keys come from SSTables, new ones from the memtable.
+  auto old_key = *db.Get("key00000010");
+  ASSERT_TRUE(old_key.has_value());
+  EXPECT_EQ(*old_key, "value-10");
+  auto new_key = *db.Get("key00002999");
+  ASSERT_TRUE(new_key.has_value());
+  EXPECT_EQ(*new_key, "value-2999");
+  auto missing = *db.Get("key99999999");
+  EXPECT_FALSE(missing.has_value());
+}
+
+TEST_F(LsmDbTest, OverwritesResolveNewestFirst) {
+  LsmDb db(&sim_, &kernel_, &fs_, SmallOptions());
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 1200; i++) {
+      char key[24];
+      std::snprintf(key, sizeof(key), "key%08d", i);
+      ASSERT_TRUE(db.Put(key, "round-" + std::to_string(round)).ok());
+    }
+  }
+  auto v = *db.Get("key00000500");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "round-2") << "newest write must win across flushed generations";
+}
+
+TEST_F(LsmDbTest, CompactionReducesTableCount) {
+  LsmDb db(&sim_, &kernel_, &fs_, SmallOptions());
+  for (int i = 0; i < 14000; i++) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "key%08d", i % 2000);
+    ASSERT_TRUE(db.Put(key, std::string(100, 'v')).ok());
+  }
+  EXPECT_GT(db.stats().compactions, 0u);
+  // L0 must stay below the trigger after compactions ran.
+  EXPECT_LE(db.sstable_count(), 6u);
+  auto v = *db.Get("key00000042");
+  EXPECT_TRUE(v.has_value());
+}
+
+TEST_F(LsmDbTest, WalRecoveryReplaysUnflushedWrites) {
+  LsmOptions options = SmallOptions();
+  options.memtable_bytes = 16 * kMiB;  // keep everything in the memtable
+  LsmDb db(&sim_, &kernel_, &fs_, options);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  // "Crash": new LsmDb instance over the same file system; WAL survives.
+  LsmDb recovered(&sim_, &kernel_, &fs_, options);
+  ASSERT_TRUE(recovered.Recover().ok());
+  auto v = *recovered.Get("k42");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "v42");
+}
+
+TEST_F(LsmDbTest, SeekWalksOrderedRange) {
+  LsmOptions options = SmallOptions();
+  options.memtable_bytes = 16 * kMiB;
+  LsmDb db(&sim_, &kernel_, &fs_, options);
+  for (int i = 0; i < 100; i++) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    ASSERT_TRUE(db.Put(key, "v").ok());
+  }
+  EXPECT_EQ(*db.Seek("key0050", 10), 10u);
+  EXPECT_EQ(*db.Seek("key0095", 10), 5u);  // runs off the end
+}
+
+TEST_F(LsmDbTest, WalFullTriggersFlush) {
+  LsmOptions options = SmallOptions();
+  options.memtable_bytes = 64 * kMiB;
+  options.wal_flush_trigger = 64 * kKiB;  // tiny: flush quickly
+  LsmDb db(&sim_, &kernel_, &fs_, options);
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db.Put("key" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  EXPECT_GT(db.stats().flushes, 1u) << "max_total_wal_size must force flushes";
+}
+
+// --- AuroraKv ------------------------------------------------------------------------
+
+TEST(AuroraKvTest, PutGetAndJournalAccounting) {
+  AppMachine m;
+  Process* proc = *m.kernel->CreateProcess("kv");
+  ConsistencyGroup* group = *m.sls->CreateGroup("kv");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+  AuroraKvOptions options;
+  options.memtable_bytes = 8 * kMiB;
+  options.journal_bytes = 1 * kMiB;
+  options.group_commit_batch = 4;
+  AuroraKv db(m.sls.get(), group, proc, options);
+
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(db.Put("key" + std::to_string(i), "value" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(db.stats().puts, 64u);
+  EXPECT_EQ(db.stats().journal_appends, 16u);  // 64 puts / batch of 4
+  auto v = *db.Get("key10");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "value10");
+}
+
+TEST(AuroraKvTest, JournalFullTriggersCheckpoint) {
+  AppMachine m;
+  Process* proc = *m.kernel->CreateProcess("kv");
+  ConsistencyGroup* group = *m.sls->CreateGroup("kv");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+  AuroraKvOptions options;
+  options.memtable_bytes = 32 * kMiB;
+  options.journal_bytes = 64 * kKiB;
+  options.group_commit_batch = 4;
+  AuroraKv db(m.sls.get(), group, proc, options);
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db.Put("key" + std::to_string(i), std::string(64, 'v')).ok());
+  }
+  EXPECT_GT(db.stats().checkpoints, 0u) << "journal-full must trigger a checkpoint";
+  EXPECT_GT(db.stats().last_checkpoint_wait, 0u);
+}
+
+TEST(AuroraKvTest, CrashRecoveryCheckpointPlusJournal) {
+  AppMachine m;
+  Process* proc = *m.kernel->CreateProcess("kv");
+  ConsistencyGroup* group = *m.sls->CreateGroup("kv");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+  AuroraKvOptions options;
+  options.memtable_bytes = 8 * kMiB;
+  options.journal_bytes = 2 * kMiB;
+  options.group_commit_batch = 1;
+  AuroraKv db(m.sls.get(), group, proc, options);
+
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(db.Put("pre" + std::to_string(i), "ckpt").ok());
+  }
+  auto ckpt = *m.sls->Checkpoint(group, "base");
+  m.sim.clock.AdvanceTo(ckpt.durable_at);
+  ASSERT_TRUE(m.sls->JournalReset(db.journal()).ok());
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db.Put("post" + std::to_string(i), "journal-only").ok());
+  }
+
+  // Crash: rebuild the whole machine on the same device.
+  auto store2 = *ObjectStore::Open(m.device.get(), &m.sim);
+  AuroraFs fs2(&m.sim, store2.get());
+  Kernel kernel2(&m.sim);
+  Sls sls2(&m.sim, &kernel2, store2.get(), &fs2);
+  auto restored = *sls2.Restore("kv");
+  auto recovered = AuroraKv::Reattach(&sls2, restored.group, restored.group->processes[0],
+                                      options, db.arena_addr(), db.node_addr(), db.journal());
+  ASSERT_TRUE(recovered.ok());
+  auto pre = *(*recovered)->Get("pre250");
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_EQ(*pre, "ckpt");
+  auto post = *(*recovered)->Get("post49");
+  ASSERT_TRUE(post.has_value()) << "journaled writes after the checkpoint must survive";
+  EXPECT_EQ(*post, "journal-only");
+}
+
+// --- KvServer -------------------------------------------------------------------------
+
+TEST(KvServerTest, OpsTouchRealMemory) {
+  SimContext sim;
+  Kernel kernel(&sim);
+  KvServerConfig config;
+  config.num_keys = 1024;
+  config.value_size = 128;
+  KvServer server(&sim, &kernel, config);
+  ASSERT_TRUE(server.Warmup().ok());
+  uint64_t resident_before = server.process()->vm().ResidentPages();
+  EXPECT_GT(resident_before, 0u);
+
+  auto get_time = server.ExecuteGet(5);
+  ASSERT_TRUE(get_time.ok());
+  EXPECT_GE(*get_time, config.op_cpu);
+  auto set_time = server.ExecuteSet(7, 0xaa);
+  ASSERT_TRUE(set_time.ok());
+}
+
+TEST(KvServerTest, GetDirtiesItemHeader) {
+  // The defining memcached behavior for Fig. 4: GETs write LRU metadata.
+  SimContext sim;
+  Kernel kernel(&sim);
+  KvServerConfig config;
+  config.num_keys = 256;
+  KvServer server(&sim, &kernel, config);
+  ASSERT_TRUE(server.Warmup().ok());
+  std::vector<VmMap*> maps{&server.process()->vm()};
+  auto pairs = CreateSystemShadows(maps, &sim, nullptr, nullptr);
+  ASSERT_FALSE(pairs.empty());
+  ASSERT_TRUE(server.ExecuteGet(3).ok());
+  uint64_t dirty = 0;
+  for (auto& [start, entry] : server.process()->vm().entries()) {
+    dirty += entry.object->ResidentPages();  // pages promoted into live shadows
+  }
+  EXPECT_GT(dirty, 0u) << "a GET must dirty at least the item header page";
+}
+
+// --- RedisLike ---------------------------------------------------------------------------
+
+TEST(RedisLikeTest, SetGetRoundTrip) {
+  SimContext sim;
+  Kernel kernel(&sim);
+  RedisLike redis(&sim, &kernel, 1000, 100);
+  ASSERT_TRUE(redis.Set(42, 0x7f).ok());
+  EXPECT_EQ(*redis.Get(42), 0x7f);
+  EXPECT_FALSE(redis.Set(1000, 1).ok());
+  EXPECT_EQ(redis.dataset_bytes(), 1000u * 116u);
+}
+
+TEST(RedisLikeTest, BgSaveForkStopScalesWithFootprint) {
+  SimContext sim;
+  Kernel kernel(&sim);
+  MemBlockDevice device(&sim.clock, (2 * kGiB) / kPageSize);
+  RedisLike small(&sim, &kernel, 5000, 496);
+  auto small_save = *small.BgSave(&device);
+  RedisLike big(&sim, &kernel, 50000, 496);
+  auto big_save = *big.BgSave(&device);
+  EXPECT_GT(big_save.fork_stop_time, small_save.fork_stop_time * 5);
+  EXPECT_GT(big_save.child_save_time, small_save.child_save_time * 5);
+}
+
+TEST(RedisLikeTest, BgSaveChildIsolatedFromParentWrites) {
+  SimContext sim;
+  Kernel kernel(&sim);
+  MemBlockDevice device(&sim.clock, (1 * kGiB) / kPageSize);
+  RedisLike redis(&sim, &kernel, 1000, 100);
+  ASSERT_TRUE(redis.Set(1, 0x11).ok());
+  ASSERT_TRUE(redis.BgSave(&device).ok());
+  // Parent keeps working after the snapshot.
+  ASSERT_TRUE(redis.Set(1, 0x22).ok());
+  EXPECT_EQ(*redis.Get(1), 0x22);
+  EXPECT_EQ(kernel.AllProcesses().size(), 1u) << "snapshot child must be reaped";
+}
+
+// --- Workloads -------------------------------------------------------------------------------
+
+TEST(WorkloadTest, EtcMixRatios) {
+  EtcWorkload workload(100000, 7);
+  int sets = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    KvRequest req = workload.Next();
+    EXPECT_LT(req.key, 100000u);
+    if (req.op == KvOp::kSet) {
+      sets++;
+      EXPECT_GT(req.value_size, 0u);
+      EXPECT_LE(req.value_size, 4096u);
+    }
+  }
+  double ratio = static_cast<double>(sets) / n;
+  EXPECT_NEAR(ratio, 0.033, 0.01);
+}
+
+TEST(WorkloadTest, PrefixDistMixAndBounds) {
+  PrefixDistWorkload workload(200000, 9);
+  int gets = 0;
+  int puts = 0;
+  int seeks = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    KvRequest req = workload.Next();
+    EXPECT_LT(req.key, 200000u);
+    switch (req.op) {
+      case KvOp::kGet:
+        gets++;
+        break;
+      case KvOp::kSet:
+        puts++;
+        break;
+      case KvOp::kSeek:
+        seeks++;
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / n, 0.83, 0.03);
+  EXPECT_NEAR(static_cast<double>(puts) / n, 0.14, 0.03);
+  EXPECT_NEAR(static_cast<double>(seeks) / n, 0.03, 0.02);
+}
+
+TEST(WorkloadTest, KeyEncodingSortsNumerically) {
+  EXPECT_LT(PrefixDistWorkload::EncodeKey(5), PrefixDistWorkload::EncodeKey(50));
+  EXPECT_LT(PrefixDistWorkload::EncodeKey(99), PrefixDistWorkload::EncodeKey(100));
+  EXPECT_EQ(PrefixDistWorkload::EncodeKey(1).size(), 20u);
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesOnPrefixes) {
+  PrefixDistWorkload workload(256 * 100, 3);
+  std::map<uint64_t, int> prefix_counts;
+  for (int i = 0; i < 10000; i++) {
+    prefix_counts[workload.Next().key / 256]++;
+  }
+  // The hottest prefix should see far more traffic than the median.
+  int max_count = 0;
+  for (auto& [p, c] : prefix_counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 200);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/base/checksum.h"
+#include "src/base/event_queue.h"
+#include "src/base/histogram.h"
+#include "src/base/id_allocator.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/serializer.h"
+#include "src/base/sim_clock.h"
+
+namespace aurora {
+namespace {
+
+TEST(Result, StatusRoundTrip) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err = Status::Error(Errc::kNotFound, "missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Errc::kNotFound);
+  EXPECT_EQ(err.ToString(), "NOT_FOUND: missing");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  Result<int> e = Status::Error(Errc::kBusy, "later");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Errc::kBusy);
+}
+
+TEST(Serializer, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x1122334455667788ull);
+  w.PutI64(-7);
+  w.PutBool(true);
+  w.PutDouble(3.25);
+  w.PutString("aurora");
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.U8(), 0xab);
+  EXPECT_EQ(*r.U16(), 0x1234);
+  EXPECT_EQ(*r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.U64(), 0x1122334455667788ull);
+  EXPECT_EQ(*r.I64(), -7);
+  EXPECT_TRUE(*r.Bool());
+  EXPECT_DOUBLE_EQ(*r.Double(), 3.25);
+  EXPECT_EQ(*r.String(), "aurora");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serializer, TruncationFailsCleanly) {
+  BinaryWriter w;
+  w.PutU64(77);
+  w.PutString("hello world");
+  const auto& buf = w.data();
+  for (size_t cut = 0; cut < buf.size(); cut++) {
+    BinaryReader r(buf.data(), cut);
+    auto v = r.U64();
+    if (!v.ok()) {
+      continue;
+    }
+    auto s = r.String();
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Serializer, OversizedLengthPrefixRejected) {
+  BinaryWriter w;
+  w.PutU64(UINT64_MAX);  // claims a huge byte field
+  BinaryReader r(w.data());
+  EXPECT_FALSE(r.Bytes().ok());
+}
+
+TEST(Checksum, Crc32cKnownVector) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+}
+
+TEST(Checksum, DetectsCorruption) {
+  std::vector<uint8_t> data(512);
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  uint32_t crc = Crc32c(data.data(), data.size());
+  data[100] ^= 1;
+  EXPECT_NE(crc, Crc32c(data.data(), data.size()));
+  uint64_t f = Fletcher64(data.data(), data.size());
+  data[101] ^= 1;
+  EXPECT_NE(f, Fletcher64(data.data(), data.size()));
+}
+
+TEST(SimClock, AdvanceSemantics) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(clock.AdvanceTo(50), 0u);  // no going back
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(clock.AdvanceTo(250), 150u);
+  EXPECT_EQ(clock.now(), 250u);
+}
+
+TEST(EventQueue, FifoWithinSameTime) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.At(10, [&] { order.push_back(1); });
+  q.At(10, [&] { order.push_back(2); });
+  q.At(5, [&] { order.push_back(0); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(clock.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int fired = 0;
+  q.At(10, [&] { fired++; });
+  q.At(100, [&] { fired++; });
+  q.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), 50u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      q.After(10, chain);
+    }
+  };
+  q.After(10, chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.now(), 50u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    sum += rng.NextExponential(100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Zipf, BoundsAndSkew) {
+  ZipfGenerator zipf(1000, 0.99, 42);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; i++) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Heavily skewed: the head must dominate the tail.
+  EXPECT_GT(counts[0], counts[500] * 5);
+}
+
+TEST(Histogram, Percentiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Record(static_cast<SimDuration>(i) * kMicrosecond);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(ToMicros(h.Percentile(50)), 500, 40);
+  EXPECT_NEAR(ToMicros(h.Percentile(99)), 990, 60);
+  EXPECT_EQ(h.Max(), 1000 * kMicrosecond);
+  EXPECT_EQ(h.Min(), kMicrosecond);
+}
+
+TEST(Histogram, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Max(), 300u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(IdAllocator, AllocateReserveRelease) {
+  IdAllocator alloc(10, 14);
+  EXPECT_EQ(*alloc.Allocate(), 10u);
+  EXPECT_EQ(*alloc.Allocate(), 11u);
+  EXPECT_TRUE(alloc.Reserve(13).ok());
+  EXPECT_FALSE(alloc.Reserve(13).ok());  // already used
+  EXPECT_EQ(*alloc.Allocate(), 12u);
+  EXPECT_EQ(*alloc.Allocate(), 14u);  // 13 skipped (reserved)
+  EXPECT_FALSE(alloc.Allocate().ok());  // exhausted
+  alloc.Release(11);
+  EXPECT_EQ(*alloc.Allocate(), 11u);
+}
+
+TEST(IdAllocator, ReserveOutOfRange) {
+  IdAllocator alloc(10, 14);
+  EXPECT_EQ(alloc.Reserve(9).code(), Errc::kOutOfRange);
+  EXPECT_EQ(alloc.Reserve(15).code(), Errc::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/redis_like.h"
+#include "src/base/sim_context.h"
+#include "src/baselines/criu_like.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+namespace {
+
+class CriuTest : public ::testing::Test {
+ protected:
+  CriuTest()
+      : device_(&sim_.clock, (4 * kGiB) / kPageSize), kernel_(&sim_),
+        criu_(&sim_, &kernel_, &device_) {}
+  SimContext sim_;
+  MemBlockDevice device_;
+  Kernel kernel_;
+  CriuLike criu_;
+};
+
+TEST_F(CriuTest, StopTimeScalesWithMemory) {
+  RedisLike small(&sim_, &kernel_, 2000, 496);
+  auto small_dump = *criu_.Checkpoint({small.process()});
+  RedisLike big(&sim_, &kernel_, 20000, 496);
+  auto big_dump = *criu_.Checkpoint({big.process()});
+  // Process-centric stop-the-world copy: stop time tracks the footprint.
+  EXPECT_GT(big_dump.memory_copy_time, small_dump.memory_copy_time * 5);
+  EXPECT_GT(big_dump.total_stop_time, small_dump.total_stop_time * 3);
+}
+
+TEST_F(CriuTest, SharingInferenceIsQuadratic) {
+  // Two processes with many descriptors each: every new fd is kcmp'd
+  // against everything seen, so comparisons grow quadratically.
+  auto make_proc = [&](int nfds) {
+    Process* p = *kernel_.CreateProcess("fds");
+    for (int i = 0; i < nfds; i++) {
+      (void)kernel_.MakePipe(*p);
+    }
+    return p;
+  };
+  Process* few = make_proc(8);
+  auto few_dump = *criu_.Checkpoint({few});
+  Process* many = make_proc(64);
+  auto many_dump = *criu_.Checkpoint({many});
+  double ratio = static_cast<double>(many_dump.sharing_comparisons) /
+                 static_cast<double>(std::max<uint64_t>(few_dump.sharing_comparisons, 1));
+  EXPECT_GT(ratio, 10.0) << "fd-sharing inference must scale superlinearly";
+}
+
+TEST_F(CriuTest, ApplicationResumesAfterDump) {
+  RedisLike redis(&sim_, &kernel_, 1000, 100);
+  ASSERT_TRUE(redis.Set(5, 0x42).ok());
+  auto dump = *criu_.Checkpoint({redis.process()});
+  EXPECT_GT(dump.image_bytes, redis.dataset_bytes() / 2);
+  // The application is resumed (not left frozen).
+  for (auto& t : redis.process()->threads()) {
+    EXPECT_NE(t->state, ThreadState::kStopped);
+  }
+  EXPECT_EQ(*redis.Get(5), 0x42);
+}
+
+TEST_F(CriuTest, MemoryCopyHappensWhileStopped) {
+  // The defining contrast with Aurora: CRIU's memory copy is inside the
+  // stop window, so total stop ~ os_state + memory_copy.
+  RedisLike redis(&sim_, &kernel_, 50000, 496);
+  auto dump = *criu_.Checkpoint({redis.process()});
+  EXPECT_GE(dump.total_stop_time + kMicrosecond,
+            dump.os_state_time + dump.memory_copy_time);
+  EXPECT_GT(dump.memory_copy_time, dump.os_state_time)
+      << "memory dominates for a data-heavy process";
+}
+
+TEST_F(CriuTest, TreeDumpCoversChildren) {
+  Process* parent = *kernel_.CreateProcess("tree");
+  auto obj = VmObject::CreateAnonymous(8 * kMiB);
+  uint64_t addr = *parent->vm().Map(0x400000, 8 * kMiB, kProtRead | kProtWrite, obj, 0, true);
+  (void)parent->vm().DirtyRange(addr, 8 * kMiB);
+  Process* child = *kernel_.Fork(*parent);
+  (void)child;
+  auto solo = *criu_.Checkpoint({parent});
+  auto tree = *criu_.Checkpoint({parent, child});
+  EXPECT_GT(tree.objects_queried, solo.objects_queried);
+  EXPECT_GE(tree.image_bytes, solo.image_bytes);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_apps.dir/bench_table6_apps.cc.o"
+  "CMakeFiles/bench_table6_apps.dir/bench_table6_apps.cc.o.d"
+  "bench_table6_apps"
+  "bench_table6_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

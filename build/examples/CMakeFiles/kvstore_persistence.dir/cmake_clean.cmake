@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_persistence.dir/kvstore_persistence.cpp.o"
+  "CMakeFiles/kvstore_persistence.dir/kvstore_persistence.cpp.o.d"
+  "kvstore_persistence"
+  "kvstore_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_warmstart.dir/serverless_warmstart.cpp.o"
+  "CMakeFiles/serverless_warmstart.dir/serverless_warmstart.cpp.o.d"
+  "serverless_warmstart"
+  "serverless_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timetravel_debugging.dir/timetravel_debugging.cpp.o"
+  "CMakeFiles/timetravel_debugging.dir/timetravel_debugging.cpp.o.d"
+  "timetravel_debugging"
+  "timetravel_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timetravel_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aurora_kv.cc" "src/apps/CMakeFiles/aurora_apps.dir/aurora_kv.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/aurora_kv.cc.o.d"
+  "/root/repo/src/apps/kv_server.cc" "src/apps/CMakeFiles/aurora_apps.dir/kv_server.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/kv_server.cc.o.d"
+  "/root/repo/src/apps/lsm_db.cc" "src/apps/CMakeFiles/aurora_apps.dir/lsm_db.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/lsm_db.cc.o.d"
+  "/root/repo/src/apps/memtable.cc" "src/apps/CMakeFiles/aurora_apps.dir/memtable.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/memtable.cc.o.d"
+  "/root/repo/src/apps/redis_like.cc" "src/apps/CMakeFiles/aurora_apps.dir/redis_like.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/redis_like.cc.o.d"
+  "/root/repo/src/apps/sstable.cc" "src/apps/CMakeFiles/aurora_apps.dir/sstable.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/sstable.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/apps/CMakeFiles/aurora_apps.dir/workloads.cc.o" "gcc" "src/apps/CMakeFiles/aurora_apps.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aurora_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/aurora_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aurora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/aurora_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aurora_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/aurora_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aurora_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

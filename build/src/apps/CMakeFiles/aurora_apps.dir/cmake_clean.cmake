@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_apps.dir/aurora_kv.cc.o"
+  "CMakeFiles/aurora_apps.dir/aurora_kv.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/kv_server.cc.o"
+  "CMakeFiles/aurora_apps.dir/kv_server.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/lsm_db.cc.o"
+  "CMakeFiles/aurora_apps.dir/lsm_db.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/memtable.cc.o"
+  "CMakeFiles/aurora_apps.dir/memtable.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/redis_like.cc.o"
+  "CMakeFiles/aurora_apps.dir/redis_like.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/sstable.cc.o"
+  "CMakeFiles/aurora_apps.dir/sstable.cc.o.d"
+  "CMakeFiles/aurora_apps.dir/workloads.cc.o"
+  "CMakeFiles/aurora_apps.dir/workloads.cc.o.d"
+  "libaurora_apps.a"
+  "libaurora_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

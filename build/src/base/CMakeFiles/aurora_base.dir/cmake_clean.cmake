@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_base.dir/checksum.cc.o"
+  "CMakeFiles/aurora_base.dir/checksum.cc.o.d"
+  "CMakeFiles/aurora_base.dir/histogram.cc.o"
+  "CMakeFiles/aurora_base.dir/histogram.cc.o.d"
+  "CMakeFiles/aurora_base.dir/result.cc.o"
+  "CMakeFiles/aurora_base.dir/result.cc.o.d"
+  "CMakeFiles/aurora_base.dir/rng.cc.o"
+  "CMakeFiles/aurora_base.dir/rng.cc.o.d"
+  "libaurora_base.a"
+  "libaurora_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

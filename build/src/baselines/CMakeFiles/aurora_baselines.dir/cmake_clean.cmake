@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_baselines.dir/criu_like.cc.o"
+  "CMakeFiles/aurora_baselines.dir/criu_like.cc.o.d"
+  "libaurora_baselines.a"
+  "libaurora_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_core.dir/cli.cc.o"
+  "CMakeFiles/aurora_core.dir/cli.cc.o.d"
+  "CMakeFiles/aurora_core.dir/coredump.cc.o"
+  "CMakeFiles/aurora_core.dir/coredump.cc.o.d"
+  "CMakeFiles/aurora_core.dir/serialize.cc.o"
+  "CMakeFiles/aurora_core.dir/serialize.cc.o.d"
+  "CMakeFiles/aurora_core.dir/sls.cc.o"
+  "CMakeFiles/aurora_core.dir/sls.cc.o.d"
+  "libaurora_core.a"
+  "libaurora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_fs.dir/aurora_fs.cc.o"
+  "CMakeFiles/aurora_fs.dir/aurora_fs.cc.o.d"
+  "CMakeFiles/aurora_fs.dir/baseline_fs.cc.o"
+  "CMakeFiles/aurora_fs.dir/baseline_fs.cc.o.d"
+  "CMakeFiles/aurora_fs.dir/buffered_fs.cc.o"
+  "CMakeFiles/aurora_fs.dir/buffered_fs.cc.o.d"
+  "libaurora_fs.a"
+  "libaurora_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_objstore.dir/object_store.cc.o"
+  "CMakeFiles/aurora_objstore.dir/object_store.cc.o.d"
+  "libaurora_objstore.a"
+  "libaurora_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

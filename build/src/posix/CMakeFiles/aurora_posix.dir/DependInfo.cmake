@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/file.cc" "src/posix/CMakeFiles/aurora_posix.dir/file.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/file.cc.o.d"
+  "/root/repo/src/posix/ipc.cc" "src/posix/CMakeFiles/aurora_posix.dir/ipc.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/ipc.cc.o.d"
+  "/root/repo/src/posix/kernel.cc" "src/posix/CMakeFiles/aurora_posix.dir/kernel.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/kernel.cc.o.d"
+  "/root/repo/src/posix/process.cc" "src/posix/CMakeFiles/aurora_posix.dir/process.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/process.cc.o.d"
+  "/root/repo/src/posix/socket.cc" "src/posix/CMakeFiles/aurora_posix.dir/socket.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/socket.cc.o.d"
+  "/root/repo/src/posix/vnode.cc" "src/posix/CMakeFiles/aurora_posix.dir/vnode.cc.o" "gcc" "src/posix/CMakeFiles/aurora_posix.dir/vnode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aurora_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aurora_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

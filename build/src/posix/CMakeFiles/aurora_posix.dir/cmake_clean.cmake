@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_posix.dir/file.cc.o"
+  "CMakeFiles/aurora_posix.dir/file.cc.o.d"
+  "CMakeFiles/aurora_posix.dir/ipc.cc.o"
+  "CMakeFiles/aurora_posix.dir/ipc.cc.o.d"
+  "CMakeFiles/aurora_posix.dir/kernel.cc.o"
+  "CMakeFiles/aurora_posix.dir/kernel.cc.o.d"
+  "CMakeFiles/aurora_posix.dir/process.cc.o"
+  "CMakeFiles/aurora_posix.dir/process.cc.o.d"
+  "CMakeFiles/aurora_posix.dir/socket.cc.o"
+  "CMakeFiles/aurora_posix.dir/socket.cc.o.d"
+  "CMakeFiles/aurora_posix.dir/vnode.cc.o"
+  "CMakeFiles/aurora_posix.dir/vnode.cc.o.d"
+  "libaurora_posix.a"
+  "libaurora_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_storage.dir/block_device.cc.o"
+  "CMakeFiles/aurora_storage.dir/block_device.cc.o.d"
+  "libaurora_storage.a"
+  "libaurora_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

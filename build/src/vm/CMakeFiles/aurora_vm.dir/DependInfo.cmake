@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/pmap.cc" "src/vm/CMakeFiles/aurora_vm.dir/pmap.cc.o" "gcc" "src/vm/CMakeFiles/aurora_vm.dir/pmap.cc.o.d"
+  "/root/repo/src/vm/system_shadow.cc" "src/vm/CMakeFiles/aurora_vm.dir/system_shadow.cc.o" "gcc" "src/vm/CMakeFiles/aurora_vm.dir/system_shadow.cc.o.d"
+  "/root/repo/src/vm/vm_map.cc" "src/vm/CMakeFiles/aurora_vm.dir/vm_map.cc.o" "gcc" "src/vm/CMakeFiles/aurora_vm.dir/vm_map.cc.o.d"
+  "/root/repo/src/vm/vm_object.cc" "src/vm/CMakeFiles/aurora_vm.dir/vm_object.cc.o" "gcc" "src/vm/CMakeFiles/aurora_vm.dir/vm_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aurora_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_vm.dir/pmap.cc.o"
+  "CMakeFiles/aurora_vm.dir/pmap.cc.o.d"
+  "CMakeFiles/aurora_vm.dir/system_shadow.cc.o"
+  "CMakeFiles/aurora_vm.dir/system_shadow.cc.o.d"
+  "CMakeFiles/aurora_vm.dir/vm_map.cc.o"
+  "CMakeFiles/aurora_vm.dir/vm_map.cc.o.d"
+  "CMakeFiles/aurora_vm.dir/vm_object.cc.o"
+  "CMakeFiles/aurora_vm.dir/vm_object.cc.o.d"
+  "libaurora_vm.a"
+  "libaurora_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

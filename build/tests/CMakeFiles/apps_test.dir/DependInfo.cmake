@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/aurora_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/aurora_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aurora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/aurora_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/aurora_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aurora_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aurora_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aurora_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objstore_model_test.dir/objstore_model_test.cc.o"
+  "CMakeFiles/objstore_model_test.dir/objstore_model_test.cc.o.d"
+  "objstore_model_test"
+  "objstore_model_test.pdb"
+  "objstore_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objstore_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

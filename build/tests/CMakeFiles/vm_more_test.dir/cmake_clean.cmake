@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_more_test.dir/vm_more_test.cc.o"
+  "CMakeFiles/vm_more_test.dir/vm_more_test.cc.o.d"
+  "vm_more_test"
+  "vm_more_test.pdb"
+  "vm_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -174,6 +174,7 @@ void ChainCapAblation() {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("ablations");
   aurora::CollapseAblation();
   aurora::VnodeLookupAblation();
   aurora::ExternalSynchronyAblation();

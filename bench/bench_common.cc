@@ -2,6 +2,93 @@
 
 namespace aurora {
 
+namespace {
+BenchReport* g_current_report = nullptr;
+// Keep only the freshest spans per machine: long periodic-checkpoint runs
+// record thousands, and consumers diff the last few operations' phases.
+constexpr size_t kReportMaxSpans = 64;
+}  // namespace
+
+BenchReport* BenchReport::Current() { return g_current_report; }
+
+BenchReport::BenchReport(const std::string& name) : name_(name) {
+  g_current_report = this;
+}
+
+BenchReport::~BenchReport() {
+  Write();
+  if (g_current_report == this) {
+    g_current_report = nullptr;
+  }
+}
+
+void BenchReport::AddResult(const std::string& label, double measured, double paper,
+                            const std::string& unit) {
+  rows_.push_back(Row{label, measured, paper, unit});
+}
+
+void BenchReport::AddMetrics(const std::string& label, const SimContext& sim) {
+  // Micro-benchmarks construct machines in a loop; keep the report bounded.
+  constexpr size_t kMaxMachines = 32;
+  if (metrics_.size() >= kMaxMachines) {
+    machines_dropped_++;
+    return;
+  }
+  std::string key = label;
+  if (key.empty()) {
+    key = "machine" + std::to_string(metrics_.size());
+  }
+  metrics_.emplace_back(key, MetricsToJson(sim.metrics, sim.tracer, true, kReportMaxSpans));
+}
+
+void BenchReport::Write() {
+  if (written_) {
+    return;
+  }
+  written_ = true;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.Value(name_);
+  w.Key("results");
+  w.BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    w.Key("label");
+    w.Value(row.label);
+    w.Key("measured");
+    w.Value(row.measured);
+    w.Key("paper");
+    w.Value(row.paper);
+    w.Key("unit");
+    w.Value(row.unit);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.BeginObject();
+  for (const auto& [label, json] : metrics_) {
+    w.Key(label);
+    w.RawValue(json);
+  }
+  w.EndObject();
+  w.Key("machines_dropped");
+  w.Value(machines_dropped_);
+  w.EndObject();
+
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\n[metrics written to %s]\n", path.c_str());
+}
+
 std::vector<Process*> BuildAppProfile(BenchMachine& m, const AppProfile& profile) {
   std::vector<Process*> procs;
   Process* root = *m.kernel->CreateProcess(profile.name);

@@ -228,6 +228,7 @@ double Personality(FsUnderTest& f, const std::string& kind) {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("fig3_filebench");
   using namespace aurora;
   PrintHeader("Figure 3(a,b): write throughput, GiB/s (paper shape: Aurora > FFS > ZFS at\n"
               "64 KiB; FFS > Aurora > ZFS at 4 KiB)");

@@ -93,6 +93,7 @@ RunResult RunClosedLoop(SimDuration period, SimDuration sim_time, int conns) {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("fig4_memcached_peak");
   using namespace aurora;
   constexpr int kConns = 192;
   constexpr SimDuration kRun = 2 * kSecond;

@@ -90,6 +90,7 @@ RunResult RunFixedLoad(SimDuration period, double target_ops_per_sec, SimDuratio
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("fig5_memcached_fixed");
   using namespace aurora;
   constexpr double kLoad = 120000;
   constexpr SimDuration kRun = 2 * kSecond;

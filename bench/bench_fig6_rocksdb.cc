@@ -154,6 +154,7 @@ RunResult RunAuroraKv() {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("fig6_rocksdb");
   using namespace aurora;
   PrintHeader(
       "Figure 6: RocksDB configurations, Facebook Prefix_dist workload\n"

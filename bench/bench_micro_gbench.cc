@@ -108,4 +108,15 @@ BENCHMARK(BM_JournalRecordFormat)->Arg(4096);
 }  // namespace
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run also leaves a BENCH_micro_gbench.json
+// behind (machines constructed by the fixtures feed its metrics section).
+int main(int argc, char** argv) {
+  aurora::BenchReport report("micro_gbench");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

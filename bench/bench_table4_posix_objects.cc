@@ -61,6 +61,7 @@ Measurement MeasureDelta(const std::function<void(BenchMachine&, Process*)>& ins
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("table4_posix_objects");
   using namespace aurora;
   PrintHeader("Table 4: per-POSIX-object checkpoint / restore times (us)");
   std::printf("  %-28s | %8s %8s | %8s %8s\n", "object", "ckpt", "(paper)", "restore",

@@ -87,6 +87,7 @@ double MeasureJournal(uint64_t bytes) {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("table5_memory_objects");
   using namespace aurora;
   PrintHeader(
       "Table 5: stop time vs dirty object size (us)\n"

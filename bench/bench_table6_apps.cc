@@ -85,6 +85,7 @@ Measured MeasureApp(const AppProfile& profile) {
 }  // namespace aurora
 
 int main() {
+  aurora::BenchReport report("table6_apps");
   using namespace aurora;
   PrintHeader("Table 6: application checkpoint stop times and restore times (ms)");
   std::printf("  %-9s | %-6s |  %5s %7s | %5s %7s | %5s %7s\n", "", "", "meas", "(paper)",

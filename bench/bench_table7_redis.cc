@@ -7,12 +7,14 @@
 #include "src/baselines/criu_like.h"
 
 int main() {
+  aurora::BenchReport report("table7_redis");
   using namespace aurora;
   constexpr uint64_t kValueSize = 496;  // 512 B slots
   constexpr uint64_t kKeys = (500 * kMiB) / 512;
 
   // --- Aurora -----------------------------------------------------------------
   BenchMachine aurora_machine(8 * kGiB);
+  aurora_machine.metrics_label = "aurora";
   double aurora_os_ms = 0;
   double aurora_mem_ms = 0;
   double aurora_stop_ms = 0;
@@ -34,6 +36,7 @@ int main() {
 
   // --- CRIU --------------------------------------------------------------------
   BenchMachine criu_machine(8 * kGiB);
+  criu_machine.metrics_label = "criu";
   CriuBreakdown criu{};
   {
     BenchMachine& m = criu_machine;
@@ -44,6 +47,7 @@ int main() {
 
   // --- Redis RDB (BGSAVE) --------------------------------------------------------
   BenchMachine rdb_machine(8 * kGiB);
+  rdb_machine.metrics_label = "rdb";
   RdbSaveResult rdb{};
   {
     BenchMachine& m = rdb_machine;

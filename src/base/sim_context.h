@@ -6,16 +6,23 @@
 #include "src/base/cost_model.h"
 #include "src/base/event_queue.h"
 #include "src/base/sim_clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace aurora {
 
 struct SimContext {
-  SimContext() : events(&clock) {}
-  explicit SimContext(CostModel model) : cost(model), events(&clock) {}
+  SimContext() : events(&clock), tracer(&clock) {}
+  explicit SimContext(CostModel model) : cost(model), events(&clock), tracer(&clock) {}
 
   SimClock clock;
   CostModel cost;
   EventQueue events;
+  // Unified observability: every subsystem of this machine reports into one
+  // registry, and the checkpoint/restore pipelines trace phase spans here.
+  // Recording is pure observation and never advances the clock.
+  MetricsRegistry metrics;
+  SpanTracer tracer;
   // Paper testbed: dual Xeon Silver 4116 = 24 cores / 48 threads. IPI and
   // TLB shootdown costs scale with the cores an application runs on.
   int ncpus = 24;

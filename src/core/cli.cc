@@ -62,6 +62,55 @@ std::vector<std::string> SlsCli::Ps() {
   return out;
 }
 
+std::vector<std::string> SlsCli::Stat() {
+  std::vector<std::string> out;
+  SimContext* sim = sls_->sim();
+  char line[256];
+
+  out.push_back("counters:");
+  for (const auto& [name, counter] : sim->metrics.counters()) {
+    std::snprintf(line, sizeof(line), "  %-32s %llu", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out.push_back(line);
+  }
+  if (!sim->metrics.gauges().empty()) {
+    out.push_back("gauges:");
+    for (const auto& [name, gauge] : sim->metrics.gauges()) {
+      std::snprintf(line, sizeof(line), "  %-32s %lld", name.c_str(),
+                    static_cast<long long>(gauge.value()));
+      out.push_back(line);
+    }
+  }
+  out.push_back("histograms:");
+  for (const auto& [name, hist] : sim->metrics.histograms()) {
+    if (hist.count() == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-32s n=%llu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                  name.c_str(), static_cast<unsigned long long>(hist.count()),
+                  ToMillis(static_cast<SimDuration>(hist.MeanNanos())),
+                  ToMillis(hist.Percentile(50.0)), ToMillis(hist.Percentile(99.0)),
+                  ToMillis(hist.Max()));
+    out.push_back(line);
+  }
+
+  // Phase spans of the most recent traced operation (latest scope).
+  uint64_t scope = sim->tracer.current_scope();
+  std::vector<Span> spans = sim->tracer.SpansInScope(scope);
+  if (!spans.empty()) {
+    std::snprintf(line, sizeof(line), "last trace (scope %llu):",
+                  static_cast<unsigned long long>(scope));
+    out.push_back(line);
+    for (const Span& span : spans) {
+      std::snprintf(line, sizeof(line), "  %-16s begin=%.6fs dur=%.3fms", span.name.c_str(),
+                    ToSeconds(span.begin), ToMillis(span.duration()));
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
 Result<CheckpointResult> SlsCli::Suspend(const std::string& group_name) {
   ConsistencyGroup* group = sls_->FindGroup(group_name);
   if (group == nullptr) {

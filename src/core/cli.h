@@ -41,6 +41,10 @@ class SlsCli {
                                 RestoreMode mode = RestoreMode::kFull);
   // sls ps: human-readable listing of groups and their checkpoints.
   std::vector<std::string> Ps();
+  // sls stat: human-readable snapshot of the machine-wide metrics registry —
+  // counters, gauges, simulated-time histograms — plus the phase spans of the
+  // most recent checkpoint or restore.
+  std::vector<std::string> Stat();
   // sls suspend / sls resume.
   Result<CheckpointResult> Suspend(const std::string& group_name);
   Result<RestoreResult> Resume(const std::string& group_name);

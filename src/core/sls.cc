@@ -221,10 +221,14 @@ Result<SimTime> Sls::FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* p
 Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::string& name,
                                          CheckpointMode mode) {
   std::vector<VmMap*> maps = GroupMaps(group);
+  SpanTracer& tracer = sim_->tracer;
+  MetricsRegistry& metrics = sim_->metrics;
+  tracer.NewScope();
 
   // Step 0: eagerly collapse the shadows flushed by the previous checkpoint
   // (paper section 6: chains capped at two). After a collapse the in-memory
   // snapshot for that region is the merged base.
+  size_t collapse_span = tracer.Begin("ckpt.collapse");
   for (const ShadowPair& pair : group->pending_collapse) {
     uint64_t oid = pair.frozen->sls_oid();
     if (CollapseAfterFlush(pair, maps, group->collapse_reversed, sim_)) {
@@ -242,17 +246,21 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
     }
   }
   group->pending_collapse.clear();
+  tracer.End(collapse_span);
 
   SimStopwatch stop(sim_->clock);
 
   // Step 1: quiesce every thread at the kernel boundary.
   CheckpointResult result;
+  size_t quiesce_span = tracer.Begin("ckpt.quiesce");
   SimStopwatch quiesce_watch(sim_->clock);
   kernel_->Quiesce(group->processes);
   result.quiesce_time = quiesce_watch.Elapsed();
+  tracer.End(quiesce_span);
 
   // Step 2: persist the file system namespace, then serialize the POSIX
   // object graph exactly once per object.
+  size_t serialize_span = tracer.Begin("ckpt.serialize");
   SimStopwatch serialize_watch(sim_->clock);
   Oid ns_oid = kInvalidOid;
   if (mode == CheckpointMode::kFull) {
@@ -263,8 +271,10 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
       std::vector<uint8_t> manifest,
       SerializeOsState(sim_, *group, store_->current_epoch(), ns_oid, ensure, &result.os_state));
   result.os_serialize_time = serialize_watch.Elapsed();
+  tracer.End(serialize_span);
 
   // Step 3: system shadowing across the whole group.
+  size_t shadow_span = tracer.Begin("ckpt.shadow");
   SimStopwatch shadow_watch(sim_->clock);
   SystemShadowStats shadow_stats;
   std::vector<ShadowPair> pairs = CreateSystemShadows(
@@ -278,6 +288,7 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   }
 
   result.shadow_time = shadow_watch.Elapsed();
+  tracer.End(shadow_span);
 
   // Step 4: resume; the application runs concurrently with the flush.
   kernel_->Resume(group->processes);
@@ -286,12 +297,19 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   group->checkpoints_taken++;
   last_manifest_blobs_[group] = manifest;
 
+  metrics.counter("ckpt.checkpoints").Add();
+  metrics.histogram("ckpt.stop_time").Record(result.stop_time);
+  metrics.histogram("ckpt.quiesce").Record(result.quiesce_time);
+  metrics.histogram("ckpt.serialize").Record(result.os_serialize_time);
+  metrics.histogram("ckpt.shadow").Record(result.shadow_time);
+
   if (mode == CheckpointMode::kMemoryOnly) {
     // Not durable: these frozen shadows hold pages the store has not seen.
     // They stay un-collapsed until a full checkpoint flushes them.
     for (ShadowPair& pair : pairs) {
       group->unflushed_frozen.push_back(std::move(pair));
     }
+    metrics.counter("ckpt.memory_only").Add();
     result.durable_at = sim_->clock.now();
     last_durable_[group] = result.durable_at;
     return result;
@@ -300,6 +318,7 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   // Step 5: asynchronous flush. Frozen shadows stream their dirty pages into
   // their region objects; chain links never persisted flush once. Shadows
   // left behind by memory-only checkpoints flush first (oldest data).
+  size_t flush_span = tracer.Begin("ckpt.flush");
   SimTime durable = sim_->clock.now();
   for (const ShadowPair& pair : group->unflushed_frozen) {
     Oid oid{pair.frozen->sls_oid()};
@@ -332,9 +351,13 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   // checkpoint, which is why fsync can be a no-op.
   AURORA_ASSIGN_OR_RETURN(SimTime fs_done, fs_->FlushAll());
   durable = std::max(durable, fs_done);
+  // The flush phase ends when its last asynchronous write lands, which is in
+  // the simulated future relative to now (the application already resumed).
+  tracer.EndAt(flush_span, durable);
 
   // Manifest object for this epoch; the previous one leaves the live table
   // (it remains readable at its own epoch).
+  size_t commit_span = tracer.Begin("ckpt.commit");
   AURORA_ASSIGN_OR_RETURN(Oid manifest_oid, store_->CreateObject(ObjType::kManifest));
   AURORA_ASSIGN_OR_RETURN(SimTime manifest_done,
                           store_->WriteAt(manifest_oid, 0, manifest.data(), manifest.size()));
@@ -346,6 +369,7 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   uint64_t committed_epoch = store_->current_epoch();
   AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint(name));
   durable = std::max(durable, commit_done);
+  tracer.EndAt(commit_span, std::max(manifest_done, commit_done));
 
   group->last_manifest = manifest_oid;
   group->last_manifest_epoch = committed_epoch;
@@ -360,8 +384,15 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   result.durable_at = durable;
   last_durable_[group] = durable;
 
+  metrics.counter("ckpt.pages_flushed").Add(result.pages_flushed);
+  metrics.counter("ckpt.bytes_flushed").Add(result.bytes_flushed);
+  // Wall time from resume until the checkpoint is fully durable: how long
+  // held messages and the next periodic checkpoint wait on the device.
+  metrics.histogram("ckpt.durability_lag").Record(durable - sim_->clock.now());
+
   // External synchrony: messages held since the previous checkpoint are
   // released once this one is durable.
+  size_t release_span = tracer.Begin("ckpt.release");
   if (!group->pending_sends.empty()) {
     auto sends = std::make_shared<std::vector<ConsistencyGroup::PendingSend>>(
         std::move(group->pending_sends));
@@ -372,6 +403,7 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
       }
     });
   }
+  tracer.EndAt(release_span, durable);
   return result;
 }
 
@@ -488,6 +520,8 @@ void Sls::WrapRestoredTops(ConsistencyGroup* group) {
 Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch,
                                    RestoreMode mode) {
   SimStopwatch watch(sim_->clock);
+  sim_->tracer.NewScope();
+  size_t restore_span = sim_->tracer.Begin("restore");
 
   std::vector<uint8_t> manifest;
   uint64_t manifest_epoch = 0;
@@ -627,6 +661,9 @@ Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch
   result.group = group;
   result.epoch = mode == RestoreMode::kFromMemory ? restored.epoch : manifest_epoch;
   result.restore_time = watch.Elapsed();
+  sim_->tracer.End(restore_span);
+  sim_->metrics.counter("restore.restores").Add();
+  sim_->metrics.histogram("restore.time").Record(result.restore_time);
   return result;
 }
 
@@ -697,6 +734,8 @@ Result<CheckpointResult> Sls::MemCheckpoint(Process* proc, uint64_t addr) {
   result.durable_at = std::max(flushed, commit_done);
   last_durable_[group] = std::max(last_durable_[group], result.durable_at);
   group->pending_collapse.push_back(pair);
+  sim_->metrics.counter("ckpt.memckpts").Add();
+  sim_->metrics.histogram("ckpt.memckpt_stop").Record(result.stop_time);
   return result;
 }
 

@@ -94,7 +94,16 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Format(BlockDevice* device, Si
     return Status::Error(Errc::kInvalidArgument, "device too small");
   }
   store->bitmap_.assign((store->total_blocks_ + 7) / 8, 0);
-  store->BitSet(0, true);  // store block 0 hosts the superblock ring
+  // The superblock ring lives in device blocks [0, kSuperSlots); reserve
+  // every store block it touches, not just block 0 — with small store blocks
+  // the ring spans several of them, and handing those to the allocator would
+  // let later superblock writes corrupt committed data.
+  uint64_t ring_blocks =
+      (kSuperSlots + store->DevBlocksPerStoreBlock() - 1) / store->DevBlocksPerStoreBlock();
+  for (uint64_t b = 0; b < std::max<uint64_t>(ring_blocks, 1); b++) {
+    store->BitSet(b, true);
+  }
+  store->alloc_cursor_ = std::max<uint64_t>(store->alloc_cursor_, ring_blocks);
   AURORA_ASSIGN_OR_RETURN(SimTime done, store->CommitCheckpoint("format"));
   sim->clock.AdvanceTo(done);
   return store;
@@ -169,6 +178,7 @@ Result<uint64_t> ObjectStore::AllocBlock() {
     if (!BitGet(candidate)) {
       BitSet(candidate, true);
       stats_.blocks_allocated++;
+      sim_->metrics.counter("store.blocks_allocated").Add();
       sim_->clock.Advance(sim_->cost.lock_acquire);
       return candidate;
     }
@@ -187,6 +197,7 @@ Result<uint64_t> ObjectStore::AllocContiguous(uint64_t nblocks) {
           BitSet(i, true);
         }
         stats_.blocks_allocated += nblocks;
+        sim_->metrics.counter("store.blocks_allocated").Add(nblocks);
         return start;
       }
     } else {
@@ -199,6 +210,7 @@ Result<uint64_t> ObjectStore::AllocContiguous(uint64_t nblocks) {
 void ObjectStore::FreeBlock(uint64_t block) {
   BitSet(block, false);
   stats_.blocks_freed++;
+  sim_->metrics.counter("store.blocks_freed").Add();
 }
 
 void ObjectStore::KillBlock(uint64_t phys, uint64_t birth) {
@@ -227,6 +239,7 @@ Result<Oid> ObjectStore::CreateObject(ObjType type, uint64_t size_hint) {
   info.type = type;
   info.size = size_hint;
   objects_[oid] = std::move(info);
+  sim_->metrics.counter("store.objects_created").Add();
   sim_->clock.Advance(sim_->cost.small_alloc);
   return oid;
 }
@@ -338,6 +351,7 @@ Result<SimTime> ObjectStore::WriteAt(Oid oid, uint64_t off, const void* data, ui
   }
   info.size = std::max(info.size, off + len);
   last_data_write_done_ = std::max(last_data_write_done_, done);
+  sim_->metrics.counter("store.bytes_written").Add(len);
   return done;
 }
 
@@ -387,11 +401,13 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
         return rdone.status();
       }
       done = std::max(done, *rdone);
+      sim_->metrics.counter("store.rmw_folds").Add();
     } else {
       std::memset(buf.data(), 0, bs);
     }
     for (const IoRun& r : block_runs) {
       std::memcpy(buf.data() + (r.off % bs), r.data, r.len);
+      sim_->metrics.counter("store.bytes_written").Add(r.len);
     }
     AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
     AURORA_ASSIGN_OR_RETURN(
@@ -495,10 +511,9 @@ Status ObjectStore::DeserializeMeta(const std::vector<uint8_t>& blob) {
   if (blob.size() < sizeof(uint32_t)) {
     return Status::Error(Errc::kCorrupt, "meta blob too small");
   }
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, blob.data() + blob.size() - 4, 4);
-  // CRC is stored little-endian by BinaryWriter; reconstruct accordingly.
-  stored_crc = static_cast<uint32_t>(blob[blob.size() - 4]) |
+  // CRC is stored little-endian by BinaryWriter; decode it explicitly so the
+  // check is endian-safe on any host.
+  uint32_t stored_crc = static_cast<uint32_t>(blob[blob.size() - 4]) |
                (static_cast<uint32_t>(blob[blob.size() - 3]) << 8) |
                (static_cast<uint32_t>(blob[blob.size() - 2]) << 16) |
                (static_cast<uint32_t>(blob[blob.size() - 1]) << 24);
@@ -622,6 +637,8 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
   SimTime done = std::max({meta_done, super_done, last_data_write_done_});
   epoch_++;
   stats_.commits++;
+  sim_->metrics.counter("store.commits").Add();
+  sim_->metrics.counter("store.meta_bytes").Add(blob.size());
   return done;
 }
 
@@ -891,6 +908,8 @@ Status ObjectStore::JournalAppend(Oid oid, const void* data, uint64_t len) {
   info.journal_write_off += padded;
   info.journal_next_seq++;
   stats_.journal_appends++;
+  sim_->metrics.counter("store.journal_appends").Add();
+  sim_->metrics.counter("store.journal_bytes").Add(len);
   return Status::Ok();
 }
 

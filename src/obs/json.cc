@@ -1,0 +1,215 @@
+#include "src/obs/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aurora {
+
+void JsonWriter::Pad() {
+  out_.push_back('\n');
+  out_.append(static_cast<size_t>(indent_) * 2, ' ');
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (!stack_.empty()) {
+    if (first_.back() == 'n') {
+      out_.push_back(',');
+    }
+    first_.back() = 'n';
+    Pad();
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  stack_.push_back('o');
+  first_.push_back('y');
+  indent_++;
+}
+
+void JsonWriter::EndObject() {
+  indent_--;
+  if (first_.back() == 'n') {
+    Pad();
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  stack_.push_back('a');
+  first_.push_back('y');
+  indent_++;
+}
+
+void JsonWriter::EndArray() {
+  indent_--;
+  if (first_.back() == 'n') {
+    Pad();
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  first_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& k) {
+  MaybeComma();
+  out_.push_back('"');
+  for (char c : k) {
+    if (c == '"' || c == '\\') {
+      out_.push_back('\\');
+    }
+    out_.push_back(c);
+  }
+  out_.append("\": ");
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  MaybeComma();
+  out_.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(double v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_.append(v ? "true" : "false");
+}
+
+void JsonWriter::RawValue(const std::string& json) {
+  MaybeComma();
+  out_.append(json);
+}
+
+void WriteMetricsJson(JsonWriter* w, const MetricsRegistry& metrics, const SpanTracer& tracer,
+                      bool include_spans, size_t max_spans) {
+  w->BeginObject();
+
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, c] : metrics.counters()) {
+    w->Key(name);
+    w->Value(c.value());
+  }
+  w->EndObject();
+
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, g] : metrics.gauges()) {
+    w->Key(name);
+    w->Value(g.value());
+  }
+  w->EndObject();
+
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : metrics.histograms()) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Value(h.count());
+    w->Key("sum_ns");
+    w->Value(h.sum());
+    w->Key("min_ns");
+    w->Value(static_cast<uint64_t>(h.Min()));
+    w->Key("max_ns");
+    w->Value(static_cast<uint64_t>(h.Max()));
+    w->Key("mean_ns");
+    w->Value(h.MeanNanos());
+    w->Key("p50_ns");
+    w->Value(static_cast<uint64_t>(h.Percentile(50)));
+    w->Key("p90_ns");
+    w->Value(static_cast<uint64_t>(h.Percentile(90)));
+    w->Key("p99_ns");
+    w->Value(static_cast<uint64_t>(h.Percentile(99)));
+    w->EndObject();
+  }
+  w->EndObject();
+
+  if (include_spans) {
+    const std::vector<Span>& all = tracer.spans();
+    size_t skip = (max_spans > 0 && all.size() > max_spans) ? all.size() - max_spans : 0;
+    w->Key("spans_dropped");
+    w->Value(tracer.dropped() + skip);
+    w->Key("spans");
+    w->BeginArray();
+    for (size_t i = skip; i < all.size(); i++) {
+      const Span& s = all[i];
+      w->BeginObject();
+      w->Key("name");
+      w->Value(s.name);
+      w->Key("scope");
+      w->Value(s.scope);
+      w->Key("begin_ns");
+      w->Value(static_cast<uint64_t>(s.begin));
+      w->Key("end_ns");
+      w->Value(static_cast<uint64_t>(s.end));
+      w->EndObject();
+    }
+    w->EndArray();
+  }
+
+  w->EndObject();
+}
+
+std::string MetricsToJson(const MetricsRegistry& metrics, const SpanTracer& tracer,
+                          bool include_spans, size_t max_spans) {
+  JsonWriter w;
+  WriteMetricsJson(&w, metrics, tracer, include_spans, max_spans);
+  return w.Take();
+}
+
+}  // namespace aurora

@@ -1,0 +1,77 @@
+// Minimal JSON writer plus the metrics/trace exporters.
+//
+// Exported schema (consumed by the BENCH_*.json files and diffing tools):
+//
+//   {
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <i64>, ... },
+//     "histograms": { "<name>": { "count": u64, "sum_ns": u64, "min_ns": u64,
+//                                  "max_ns": u64, "mean_ns": f64,
+//                                  "p50_ns": u64, "p90_ns": u64, "p99_ns": u64 }, ... },
+//     "spans":      [ { "name": str, "scope": u64,
+//                       "begin_ns": u64, "end_ns": u64 }, ... ]
+//   }
+//
+// All times are simulated nanoseconds, so two runs of the same binary are
+// byte-identical and regressions show up as clean diffs.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace aurora {
+
+// Streaming JSON writer: handles commas, nesting and string escaping. Keys
+// are emitted in the order given; numbers print with enough precision to
+// round-trip.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& k);
+  void Value(const std::string& v);
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(double v);
+  void Value(bool v);
+  // Splices pre-rendered JSON in as a value (e.g. a section produced by
+  // MetricsToJson). The caller guarantees it is well-formed.
+  void RawValue(const std::string& json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Pad();
+  void MaybeComma();
+
+  std::string out_;
+  // Per-depth flag: has the current container already emitted an element?
+  std::string stack_;  // 'o' = object, 'a' = array
+  std::string first_;
+  bool pending_key_ = false;
+  int indent_ = 0;
+};
+
+// Writes one metrics section (counters/gauges/histograms/spans) into `w` as
+// a JSON object value. The caller owns surrounding structure. With
+// `max_spans` nonzero only the newest `max_spans` spans are emitted (long
+// periodic-checkpoint benches record thousands; the per-phase breakdown of
+// the most recent operations is what consumers diff).
+void WriteMetricsJson(JsonWriter* w, const MetricsRegistry& metrics, const SpanTracer& tracer,
+                      bool include_spans = true, size_t max_spans = 0);
+
+// Convenience: the full section as a standalone string.
+std::string MetricsToJson(const MetricsRegistry& metrics, const SpanTracer& tracer,
+                          bool include_spans = true, size_t max_spans = 0);
+
+}  // namespace aurora
+
+#endif  // SRC_OBS_JSON_H_

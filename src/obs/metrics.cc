@@ -1,0 +1,89 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+SimHistogram::SimHistogram() : buckets_(static_cast<size_t>(kMaxPower) * kSubBuckets, 0) {}
+
+size_t SimHistogram::BucketFor(SimDuration v) const {
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  int power = 63 - __builtin_clzll(v);
+  int base_power = 5;  // 2^5 == kSubBuckets
+  int shift = power - base_power;
+  size_t sub = static_cast<size_t>(v >> shift) - kSubBuckets;
+  size_t idx = static_cast<size_t>(shift + 1) * kSubBuckets + sub;
+  return std::min(idx, buckets_.size() - 1);
+}
+
+SimDuration SimHistogram::BucketUpper(size_t idx) const {
+  if (idx < kSubBuckets) {
+    return idx;
+  }
+  size_t shift = idx / kSubBuckets - 1;
+  size_t sub = idx % kSubBuckets;
+  return (static_cast<SimDuration>(kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void SimHistogram::Record(SimDuration nanos) {
+  buckets_[BucketFor(nanos)]++;
+  if (count_ == 0 || nanos < min_) {
+    min_ = nanos;
+  }
+  max_ = std::max(max_, nanos);
+  sum_ += nanos;
+  count_++;
+}
+
+void SimHistogram::Merge(const SimHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void SimHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = 0;
+  min_ = max_ = 0;
+}
+
+SimDuration SimHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketUpper(i), max_);
+    }
+  }
+  return max_;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace aurora

@@ -1,0 +1,59 @@
+#include "src/obs/trace.h"
+
+namespace aurora {
+
+size_t SpanTracer::Begin(const std::string& name) {
+  if (spans_.size() >= kMaxSpans) {
+    size_t trim = spans_.size() / 2;
+    spans_.erase(spans_.begin(), spans_.begin() + static_cast<long>(trim));
+    base_ += trim;
+    dropped_ += trim;
+  }
+  Span span;
+  span.name = name;
+  span.scope = current_scope_;
+  span.begin = clock_->now();
+  span.end = span.begin;
+  spans_.push_back(std::move(span));
+  return base_ + spans_.size() - 1;
+}
+
+void SpanTracer::End(size_t handle) { EndAt(handle, clock_->now()); }
+
+void SpanTracer::EndAt(size_t handle, SimTime t) {
+  if (handle < base_) {
+    return;  // span was trimmed away
+  }
+  size_t idx = handle - base_;
+  if (idx < spans_.size()) {
+    spans_[idx].end = t;
+  }
+}
+
+std::vector<Span> SpanTracer::SpansInScope(uint64_t scope) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.scope == scope) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<Span> SpanTracer::SpansNamed(const std::string& name) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.name == name) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void SpanTracer::Clear() {
+  spans_.clear();
+  base_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace aurora

@@ -1,0 +1,86 @@
+// Lightweight span tracer over simulated time.
+//
+// The checkpoint pipeline (and restore) records one span per phase —
+// collapse, quiesce, serialize, shadow, flush, commit, release — with
+// begin/end simulated timestamps. Spans belonging to one checkpoint share a
+// scope id, so a Table-7-style stop-time breakdown can be reconstructed for
+// any individual checkpoint after the fact. Asynchronous phases (flush,
+// commit, release) end at their device durability time, which lies in the
+// simulated future of the code that records them; EndAt takes that
+// completion time explicitly.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/base/units.h"
+
+namespace aurora {
+
+struct Span {
+  std::string name;
+  uint64_t scope = 0;   // groups spans of one logical operation
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimDuration duration() const { return end >= begin ? end - begin : 0; }
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(const SimClock* clock) : clock_(clock) {}
+
+  // Opens a new scope (e.g. one checkpoint). Spans begun afterwards carry it
+  // until the next NewScope call.
+  uint64_t NewScope() { return ++current_scope_; }
+  uint64_t current_scope() const { return current_scope_; }
+
+  // Begins a span at the current simulated time; returns its handle.
+  size_t Begin(const std::string& name);
+  // Ends it at the current simulated time.
+  void End(size_t handle);
+  // Ends it at an explicit (possibly future) simulated time.
+  void EndAt(size_t handle, SimTime t);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+
+  // All spans recorded under `scope`, in begin order.
+  std::vector<Span> SpansInScope(uint64_t scope) const;
+  // All spans with the given name.
+  std::vector<Span> SpansNamed(const std::string& name) const;
+
+  void Clear();
+
+ private:
+  // Long periodic-checkpoint runs would otherwise grow without bound; keep
+  // the newest half when the cap is hit.
+  static constexpr size_t kMaxSpans = 1 << 16;
+
+  const SimClock* clock_;
+  std::vector<Span> spans_;
+  uint64_t current_scope_ = 0;
+  uint64_t dropped_ = 0;
+  size_t base_ = 0;  // handles issued before a trim stay valid via offset
+};
+
+// RAII helper for synchronous phases.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, const std::string& name)
+      : tracer_(tracer), handle_(tracer->Begin(name)) {}
+  ~ScopedSpan() { tracer_->End(handle_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  size_t handle_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_OBS_TRACE_H_

@@ -46,6 +46,7 @@ Result<Process*> Kernel::CreateProcessForRestore(const std::string& name, uint64
 }
 
 Result<Process*> Kernel::Fork(Process& parent) {
+  CountSyscall("fork");
   AURORA_ASSIGN_OR_RETURN(uint64_t pid, pid_alloc_.Allocate());
   auto child = std::make_unique<Process>(this, pid, pid, parent.name());
   child->parent = &parent;
@@ -114,6 +115,7 @@ std::vector<Process*> Kernel::AllProcesses() {
 }
 
 Status Kernel::Kill(uint64_t local_pid, int signo) {
+  CountSyscall("kill");
   Process* proc = FindLocalPid(local_pid);
   if (proc == nullptr) {
     return Status::Error(Errc::kNotFound, "no such process");
@@ -153,6 +155,11 @@ Result<std::pair<uint64_t, int>> Kernel::WaitAny(Process& parent) {
   return Status::Error(Errc::kWouldBlock, "no exited children");
 }
 
+void Kernel::CountSyscall(const char* name) {
+  sim_->metrics.counter("kernel.syscalls").Add();
+  sim_->metrics.counter(std::string("kernel.syscall.") + name).Add();
+}
+
 QuiesceStats Kernel::Quiesce(const std::vector<Process*>& procs) {
   QuiesceStats stats;
   const CostModel& cost = sim_->cost;
@@ -169,6 +176,8 @@ QuiesceStats Kernel::Quiesce(const std::vector<Process*>& procs) {
   sim_->clock.Advance(cost.quiesce_ipi * std::max<uint64_t>(cores, 1));
   stats.ipis = std::max<uint64_t>(cores, 1);
 
+  sim_->metrics.counter("kernel.quiesces").Add();
+  sim_->metrics.counter("kernel.quiesce_ipis").Add(stats.ipis);
   for (Process* p : procs) {
     QuiesceAio(*p);
     for (auto& t : p->threads()) {
@@ -201,6 +210,7 @@ QuiesceStats Kernel::Quiesce(const std::vector<Process*>& procs) {
       t->state = ThreadState::kStopped;
     }
   }
+  sim_->metrics.counter("kernel.syscalls_restarted").Add(stats.syscalls_restarted);
   return stats;
 }
 
@@ -220,6 +230,7 @@ void Kernel::Resume(const std::vector<Process*>& procs) {
 }
 
 Result<int> Kernel::Open(Process& proc, const std::string& path, int flags, bool create) {
+  CountSyscall("open");
   if (rootfs_ == nullptr) {
     return Status::Error(Errc::kBadState, "no root filesystem");
   }
@@ -240,6 +251,7 @@ Result<int> Kernel::Open(Process& proc, const std::string& path, int flags, bool
 }
 
 Status Kernel::Close(Process& proc, int fd) {
+  CountSyscall("close");
   AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc.fds().Get(fd));
   if (desc->object != nullptr && desc->object->type() == FileType::kVnode && desc.use_count() <= 2) {
     // Last descriptor reference: drop the hidden ref taken at open so
@@ -251,6 +263,7 @@ Status Kernel::Close(Process& proc, int fd) {
 }
 
 Result<uint64_t> Kernel::ReadFd(Process& proc, int fd, void* out, uint64_t len) {
+  CountSyscall("read");
   AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc.fds().Get(fd));
   if ((desc->open_flags & kOpenRead) == 0) {
     return Status::Error(Errc::kInvalidArgument, "fd not open for reading");
@@ -270,6 +283,7 @@ Result<uint64_t> Kernel::ReadFd(Process& proc, int fd, void* out, uint64_t len) 
 }
 
 Result<uint64_t> Kernel::WriteFd(Process& proc, int fd, const void* data, uint64_t len) {
+  CountSyscall("write");
   AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc.fds().Get(fd));
   if ((desc->open_flags & kOpenWrite) == 0) {
     return Status::Error(Errc::kInvalidArgument, "fd not open for writing");
@@ -290,6 +304,7 @@ Result<uint64_t> Kernel::WriteFd(Process& proc, int fd, const void* data, uint64
 }
 
 Result<uint64_t> Kernel::SeekFd(Process& proc, int fd, int64_t offset, int whence) {
+  CountSyscall("lseek");
   AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc.fds().Get(fd));
   if (desc->object->type() != FileType::kVnode) {
     return Status::Error(Errc::kNotSupported, "seek on non-file");
@@ -318,6 +333,7 @@ Result<uint64_t> Kernel::SeekFd(Process& proc, int fd, int64_t offset, int whenc
 }
 
 Result<std::pair<int, int>> Kernel::MakePipe(Process& proc) {
+  CountSyscall("pipe");
   auto pipe = std::make_shared<Pipe>();
   auto rd = std::make_shared<FileDescription>();
   rd->object = pipe;
@@ -331,6 +347,7 @@ Result<std::pair<int, int>> Kernel::MakePipe(Process& proc) {
 }
 
 Result<int> Kernel::MakeSocket(Process& proc, SocketDomain domain, SocketProto proto) {
+  CountSyscall("socket");
   auto sock = std::make_shared<Socket>(domain, proto);
   auto desc = std::make_shared<FileDescription>();
   desc->object = std::move(sock);
@@ -339,6 +356,7 @@ Result<int> Kernel::MakeSocket(Process& proc, SocketDomain domain, SocketProto p
 }
 
 Result<int> Kernel::MakeKqueue(Process& proc) {
+  CountSyscall("kqueue");
   auto kq = std::make_shared<Kqueue>();
   auto desc = std::make_shared<FileDescription>();
   desc->object = std::move(kq);
@@ -347,6 +365,7 @@ Result<int> Kernel::MakeKqueue(Process& proc) {
 }
 
 Result<std::pair<int, int>> Kernel::MakePty(Process& proc) {
+  CountSyscall("posix_openpt");
   auto pty = std::make_shared<Pseudoterminal>();
   pty->index = next_pty_index_++;
   pty->session_sid = proc.sid;
@@ -362,6 +381,7 @@ Result<std::pair<int, int>> Kernel::MakePty(Process& proc) {
 }
 
 Result<int> Kernel::ShmOpen(Process& proc, const std::string& name, uint64_t size) {
+  CountSyscall("shm_open");
   std::shared_ptr<SharedMemory> shm;
   auto it = posix_shm_.find(name);
   if (it != posix_shm_.end()) {
@@ -380,6 +400,7 @@ Result<int> Kernel::ShmOpen(Process& proc, const std::string& name, uint64_t siz
 }
 
 Result<int> Kernel::ShmGet(Process& proc, int32_t key, uint64_t size) {
+  CountSyscall("shmget");
   std::shared_ptr<SharedMemory> shm;
   for (auto& [id, candidate] : sysv_shm_) {
     if (candidate->key == key) {
@@ -402,6 +423,7 @@ Result<int> Kernel::ShmGet(Process& proc, int32_t key, uint64_t size) {
 }
 
 Result<uint64_t> Kernel::ShmMap(Process& proc, int fd) {
+  CountSyscall("shmat");
   AURORA_ASSIGN_OR_RETURN(std::shared_ptr<FileDescription> desc, proc.fds().Get(fd));
   if (desc->object->type() != FileType::kShm) {
     return Status::Error(Errc::kInvalidArgument, "fd is not shared memory");

@@ -122,6 +122,9 @@ class Kernel {
   uint64_t QuiesceAio(Process& proc);
 
  private:
+  // Observability: bumps "kernel.syscalls" plus "kernel.syscall.<name>".
+  void CountSyscall(const char* name);
+
   SimContext* sim_;
   Filesystem* rootfs_ = nullptr;
 

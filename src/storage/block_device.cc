@@ -29,6 +29,11 @@ MemBlockDevice::MemBlockDevice(SimClock* clock, uint64_t block_count, uint32_t b
 
 SimTime MemBlockDevice::CompleteIo(uint64_t bytes, SimDuration latency, double bw) {
   SimTime start = std::max(clock_->now(), free_at_);
+  if (metrics_ != nullptr) {
+    // Queue occupancy: how long this command waited behind earlier transfers
+    // before the channel became free. Zero when the device was idle.
+    metrics_->histogram("device.queue_delay").Record(start - clock_->now());
+  }
   auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) / bw);
   free_at_ = start + transfer + profile_.command_overhead;
   return free_at_ + latency;
@@ -64,6 +69,10 @@ Result<SimTime> MemBlockDevice::WriteAsync(uint64_t lba, const void* data, uint3
     stats_.writes++;
   }
   stats_.bytes_written += static_cast<uint64_t>(nblocks) * block_size_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("device.writes").Add(nblocks);
+    metrics_->counter("device.bytes_written").Add(static_cast<uint64_t>(nblocks) * block_size_);
+  }
   return CompleteIo(static_cast<uint64_t>(nblocks) * block_size_, profile_.write_latency,
                     profile_.write_bytes_per_ns);
 }
@@ -83,6 +92,10 @@ Result<SimTime> MemBlockDevice::ReadAsync(uint64_t lba, void* out, uint32_t nblo
     stats_.reads++;
   }
   stats_.bytes_read += static_cast<uint64_t>(nblocks) * block_size_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("device.reads").Add(nblocks);
+    metrics_->counter("device.bytes_read").Add(static_cast<uint64_t>(nblocks) * block_size_);
+  }
   return CompleteIo(static_cast<uint64_t>(nblocks) * block_size_, profile_.read_latency,
                     profile_.read_bytes_per_ns);
 }
@@ -147,20 +160,20 @@ Result<SimTime> StripedDevice::ReadAsync(uint64_t lba, void* out, uint32_t nbloc
                     });
 }
 
-const DeviceStats& StripedDevice::stats() const {
-  merged_stats_ = DeviceStats{};
+DeviceStats StripedDevice::stats() const {
+  DeviceStats merged;
   for (const auto& c : children_) {
-    const auto& s = c->stats();
-    merged_stats_.reads += s.reads;
-    merged_stats_.writes += s.writes;
-    merged_stats_.bytes_read += s.bytes_read;
-    merged_stats_.bytes_written += s.bytes_written;
+    DeviceStats s = c->stats();
+    merged.reads += s.reads;
+    merged.writes += s.writes;
+    merged.bytes_read += s.bytes_read;
+    merged.bytes_written += s.bytes_written;
   }
-  return merged_stats_;
+  return merged;
 }
 
 std::unique_ptr<BlockDevice> MakePaperTestbedStore(SimClock* clock, uint64_t total_bytes,
-                                                   uint32_t block_size) {
+                                                   uint32_t block_size, MetricsRegistry* metrics) {
   constexpr int kDevices = 4;
   // Per-device streaming bandwidth; striping pipelines the four devices so
   // asynchronous checkpoint flushes reach ~5.4 GB/s (Table 7: 500 MiB in
@@ -174,8 +187,9 @@ std::unique_ptr<BlockDevice> MakePaperTestbedStore(SimClock* clock, uint64_t tot
   std::vector<std::unique_ptr<BlockDevice>> children;
   children.reserve(kDevices);
   for (int i = 0; i < kDevices; i++) {
-    children.push_back(
-        std::make_unique<MemBlockDevice>(clock, per_device_blocks, block_size, per_device));
+    auto child = std::make_unique<MemBlockDevice>(clock, per_device_blocks, block_size, per_device);
+    child->set_metrics(metrics);
+    children.push_back(std::move(child));
   }
   return std::make_unique<StripedDevice>(std::move(children), 64 * kKiB);
 }

@@ -22,6 +22,7 @@
 #include "src/base/result.h"
 #include "src/base/sim_clock.h"
 #include "src/base/units.h"
+#include "src/obs/metrics.h"
 
 namespace aurora {
 
@@ -61,7 +62,10 @@ class BlockDevice {
   Status ReadSync(uint64_t lba, void* out, uint32_t nblocks);
 
   virtual SimClock* clock() = 0;
-  virtual const DeviceStats& stats() const = 0;
+  // Snapshot of the device counters. Returned by value: striped devices
+  // merge their children on demand, and a reference would be silently
+  // invalidated by the next call while callers hold it across IOs.
+  virtual DeviceStats stats() const = 0;
 };
 
 // Sparse in-memory device with the timeline model described above.
@@ -77,7 +81,11 @@ class MemBlockDevice : public BlockDevice {
   Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
 
   SimClock* clock() override { return clock_; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override { return stats_; }
+
+  // Mirrors per-IO counters and channel-queue delay histograms into the
+  // machine-wide registry ("device.*" namespace).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Crash injection: after `n` further block writes succeed, the next write
   // is torn (only its first half is applied) and all subsequent writes are
@@ -105,6 +113,7 @@ class MemBlockDevice : public BlockDevice {
   uint32_t block_size_;
   DeviceProfile profile_;
   DeviceStats stats_;
+  MetricsRegistry* metrics_ = nullptr;
   // Device timeline: when the channel becomes free for the next transfer.
   SimTime free_at_ = 0;
 
@@ -128,7 +137,7 @@ class StripedDevice : public BlockDevice {
   Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
 
   SimClock* clock() override { return children_[0]->clock(); }
-  const DeviceStats& stats() const override;
+  DeviceStats stats() const override;
 
  private:
   // Maps a logical block to (child index, child lba).
@@ -141,13 +150,14 @@ class StripedDevice : public BlockDevice {
   uint32_t stripe_blocks_;
   uint32_t block_size_;
   uint64_t block_count_;
-  mutable DeviceStats merged_stats_;
 };
 
 // Builds the paper's storage configuration: four NVMe devices striped at
-// 64 KiB, with total capacity `total_bytes`.
+// 64 KiB, with total capacity `total_bytes`. With `metrics` non-null, every
+// child device reports into it ("device.*").
 std::unique_ptr<BlockDevice> MakePaperTestbedStore(SimClock* clock, uint64_t total_bytes,
-                                                   uint32_t block_size = kPageSize);
+                                                   uint32_t block_size = kPageSize,
+                                                   MetricsRegistry* metrics = nullptr);
 
 }  // namespace aurora
 

@@ -71,6 +71,8 @@ std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, Sim
       stats->objects_shadowed++;
       stats->ptes_invalidated += invalidated;
     }
+    sim->metrics.counter("vm.objects_shadowed").Add();
+    sim->metrics.counter("vm.ptes_protected").Add(invalidated);
     pairs.push_back(ShadowPair{top, shadow});
   }
 
@@ -81,6 +83,7 @@ std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, Sim
     if (stats != nullptr) {
       stats->tlb_shootdowns++;
     }
+    sim->metrics.counter("vm.tlb_shootdowns").Add();
   }
   return pairs;
 }
@@ -91,11 +94,14 @@ ShadowPair ShadowOneObject(std::shared_ptr<VmObject> top, const std::vector<VmMa
   shadow->set_sls_oid(top->sls_oid());
   top->Freeze();
   sim->clock.Advance(sim->cost.small_alloc + sim->cost.lock_acquire);
-  RebindEntries(top.get(), shadow, maps, sim);
+  uint64_t invalidated = RebindEntries(top.get(), shadow, maps, sim);
   if (rebind) {
     rebind(top.get(), shadow);
   }
   sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
+  sim->metrics.counter("vm.objects_shadowed").Add();
+  sim->metrics.counter("vm.ptes_protected").Add(invalidated);
+  sim->metrics.counter("vm.tlb_shootdowns").Add();
   return ShadowPair{top, shadow};
 }
 
@@ -129,12 +135,14 @@ bool CollapseAfterFlush(const ShadowPair& pair, const std::vector<VmMap*>& maps,
     // in-flight flush records) cannot keep the base's shadow count elevated.
     pair.live->ReplaceParent(keep);
     frozen->ReplaceParent(nullptr);
+    sim->metrics.counter("vm.shadow_collapses").Add();
   } else {
     if (!frozen->CollapseClassic(sim->cost, &sim->clock).ok()) {
       return false;
     }
     // Classic direction: the frozen shadow absorbed the base and spliced it
     // out itself; the live top already points at the frozen shadow.
+    sim->metrics.counter("vm.shadow_collapses").Add();
   }
   return true;
 }

@@ -128,6 +128,7 @@ Result<Pmap::Entry*> VmMap::Fault(uint64_t addr, bool write) {
     page = found.page;
     owner = top;
     fault_stats_.soft_faults++;
+    sim_->metrics.counter("vm.soft_faults").Add();
   } else if (write || found.page == nullptr) {
     // Promote into the top object: a COW copy when a lower chain link holds
     // the page, or a fresh zeroed frame (FreeBSD allocates zeroed pages in
@@ -149,10 +150,12 @@ Result<Pmap::Entry*> VmMap::Fault(uint64_t addr, bool write) {
       // are stale now that the top object hides it (pmap_remove_all).
       PvInvalidate(found.page);
       fault_stats_.cow_faults++;
+      sim_->metrics.counter("vm.cow_faults").Add();
     } else {
       static const std::array<uint8_t, kPageSize> kZeros{};
       page = top->InstallPage(pgidx, kZeros.data());
       fault_stats_.zero_fills++;
+      sim_->metrics.counter("vm.zero_fills").Add();
     }
     owner = top;
   } else {
@@ -161,6 +164,7 @@ Result<Pmap::Entry*> VmMap::Fault(uint64_t addr, bool write) {
     page = found.page;
     owner = found.owner;
     fault_stats_.soft_faults++;
+    sim_->metrics.counter("vm.soft_faults").Add();
   }
 
   bool writable = owner == top && (entry->prot & kProtWrite) != 0 && !top->frozen();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI entry point: build the plain and ASan+UBSan configurations and run the
+# full test suite under both. Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+for preset in default asan; do
+  echo "=== configure/build/test: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}"
+done

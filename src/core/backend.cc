@@ -1,0 +1,582 @@
+#include "src/core/backend.h"
+
+#include <algorithm>
+
+#include "src/base/serializer.h"
+
+namespace aurora {
+
+namespace {
+constexpr uint32_t kStreamMagic = 0x41534e44;  // "ASND"
+}
+
+// -----------------------------------------------------------------------------
+// StoreBackend
+// -----------------------------------------------------------------------------
+
+Result<Oid> StoreBackend::CreateMemoryObject(uint64_t size_hint) {
+  return store_->CreateObject(ObjType::kMemory, size_hint);
+}
+
+Result<SimTime> StoreBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                               uint64_t* bytes) {
+  // One run per resident page; the store batches runs per 64 KiB block so
+  // sparse dirty sets cost one COW block update per touched block, with
+  // asynchronous RMW reads — the flush overlaps application execution.
+  std::vector<ObjectStore::IoRun> runs;
+  runs.reserve(obj->pages().size());
+  for (const auto& [pgidx, frame] : obj->pages()) {
+    runs.push_back(ObjectStore::IoRun{pgidx * kPageSize, frame->data.data(), kPageSize});
+    if (pages != nullptr) {
+      (*pages)++;
+    }
+    if (bytes != nullptr) {
+      *bytes += kPageSize;
+    }
+  }
+  if (runs.empty()) {
+    return sim_->clock.now();
+  }
+  AURORA_ASSIGN_OR_RETURN(SimTime done, store_->WriteAtBatch(oid, runs));
+  // The flusher walks the object with its lock held; COW faults copying
+  // from it contend (see VmObject::busy_until).
+  obj->set_busy_until(done);
+  sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(runs.size() * kPageSize);
+  return done;
+}
+
+Result<CheckpointBackend::CommitInfo> StoreBackend::CommitEpoch(
+    const std::string& ckpt_name, const std::vector<uint8_t>& manifest, Oid replaces_manifest) {
+  CommitInfo info;
+  SimTime manifest_done = sim_->clock.now();
+  if (!manifest.empty()) {
+    // Manifest object for this epoch; the previous one leaves the live table
+    // (it remains readable at its own epoch).
+    AURORA_ASSIGN_OR_RETURN(info.manifest_oid, store_->CreateObject(ObjType::kManifest));
+    AURORA_ASSIGN_OR_RETURN(
+        manifest_done, store_->WriteAt(info.manifest_oid, 0, manifest.data(), manifest.size()));
+    if (replaces_manifest.valid()) {
+      (void)store_->DeleteObject(replaces_manifest);
+    }
+    sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(manifest.size());
+  }
+  info.epoch = store_->current_epoch();
+  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint(ckpt_name));
+  info.durable_at = std::max(manifest_done, commit_done);
+  sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
+  return info;
+}
+
+Result<CheckpointBackend::LoadedManifest> StoreBackend::LoadManifest(
+    const std::string& group_name, uint64_t epoch) {
+  return LoadManifestFromStore(store_, group_name, epoch);
+}
+
+Result<MemoryResolverFn> StoreBackend::MakeResolver(uint64_t epoch, RestoreMode mode,
+                                                    std::shared_ptr<SimTime> stream_done) {
+  ObjectStore* store = store_;
+  if (mode == RestoreMode::kFull) {
+    // Eager restore streams every object's blocks with pipelined reads; the
+    // caller advances to the stream's completion once at the end.
+    return MemoryResolverFn(
+        [store, epoch, stream_done](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+          auto obj = VmObject::CreateAnonymous(size);
+          auto blocks = store->BlocksAtEpoch(epoch, oid);
+          if (blocks.ok()) {
+            uint32_t bs = store->block_size();
+            std::vector<uint8_t> buf(bs);
+            for (uint64_t block : *blocks) {
+              AURORA_RETURN_IF_ERROR(
+                  store->ReadAtEpoch(epoch, oid, block * bs, buf.data(), bs, stream_done.get()));
+              for (uint64_t p = 0; p < bs / kPageSize; p++) {
+                obj->InstallPage(block * (bs / kPageSize) + p, buf.data() + p * kPageSize);
+              }
+            }
+          }
+          return ResolvedMemory{std::move(obj), false};
+        });
+  }
+  if (mode == RestoreMode::kLazy) {
+    return MemoryResolverFn([store, epoch](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+      auto obj = VmObject::CreateAnonymous(size);
+      auto blocks = store->BlocksAtEpoch(epoch, oid);
+      auto present = std::make_shared<std::set<uint64_t>>();
+      if (blocks.ok()) {
+        present->insert(blocks->begin(), blocks->end());
+      }
+      uint32_t bs = store->block_size();
+      obj->set_pager([store, epoch, oid, present, bs](uint64_t pgidx, uint8_t* out) {
+        uint64_t block = pgidx * kPageSize / bs;
+        if (present->count(block) == 0) {
+          return false;
+        }
+        return store->ReadAtEpoch(epoch, oid, pgidx * kPageSize, out, kPageSize).ok();
+      });
+      return ResolvedMemory{std::move(obj), false};
+    });
+  }
+  return Status::Error(Errc::kInvalidArgument, "kFromMemory resolves without a backend");
+}
+
+bool StoreBackend::InstallPager(VmObject* base) {
+  // Only legal for parentless anonymous objects: a catch-all pager installed
+  // mid-chain would shadow the links below it.
+  if (base->parent() != nullptr || base->sls_oid() == 0) {
+    return base->has_pager();
+  }
+  if (base->has_pager()) {
+    return true;
+  }
+  ObjectStore* store = store_;
+  Oid oid{base->sls_oid()};
+  base->set_pager([store, oid](uint64_t pgidx, uint8_t* out) {
+    auto blocks = store->ReadAt(oid, pgidx * kPageSize, out, kPageSize);
+    return blocks.ok();
+  });
+  return true;
+}
+
+// -----------------------------------------------------------------------------
+// MemoryBackend
+// -----------------------------------------------------------------------------
+
+Result<Oid> MemoryBackend::CreateMemoryObject(uint64_t size_hint) {
+  Oid oid{AllocOid()};
+  DeclareObject(oid.value, size_hint);
+  return oid;
+}
+
+void MemoryBackend::DeclareObject(uint64_t oid, uint64_t size) {
+  ObjectImage& img = objects_[oid];
+  img.size = std::max(img.size, size);
+}
+
+void MemoryBackend::StagePage(uint64_t oid, uint64_t object_size, uint64_t pgidx,
+                              const uint8_t* data) {
+  ObjectImage& img = objects_[oid];
+  img.size = std::max(img.size, object_size);
+  img.pages[pgidx].assign(data, data + kPageSize);
+}
+
+Result<SimTime> MemoryBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                                uint64_t* bytes) {
+  uint64_t copied = 0;
+  for (const auto& [pgidx, frame] : obj->pages()) {
+    StagePage(oid.value, obj->size(), pgidx, frame->data.data());
+    copied += kPageSize;
+    if (pages != nullptr) {
+      (*pages)++;
+    }
+    if (bytes != nullptr) {
+      *bytes += kPageSize;
+    }
+  }
+  if (copied == 0) {
+    return sim_->clock.now();
+  }
+  SimTime done = std::max(sim_->clock.now(), flusher_free_at_) + sim_->cost.MemCopy(copied);
+  flusher_free_at_ = done;
+  obj->set_busy_until(done);
+  sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(copied);
+  return done;
+}
+
+Result<CheckpointBackend::CommitInfo> MemoryBackend::CommitEpoch(
+    const std::string& ckpt_name, const std::vector<uint8_t>& manifest, Oid replaces_manifest) {
+  (void)replaces_manifest;  // images are append-only; Seal retires nothing
+  SimTime done = std::max(sim_->clock.now(), flusher_free_at_);
+  if (!manifest.empty()) {
+    done += sim_->cost.MemCopy(manifest.size());
+    sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(manifest.size());
+  }
+  flusher_free_at_ = done;
+  std::string group;
+  if (!manifest.empty()) {
+    auto head = PeekManifest(manifest);
+    if (head.ok()) {
+      group = head->name;
+    }
+  }
+  sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
+  return Seal(std::move(group), ckpt_name, manifest, done);
+}
+
+CheckpointBackend::CommitInfo MemoryBackend::Seal(std::string group, std::string ckpt_name,
+                                                  std::vector<uint8_t> manifest,
+                                                  SimTime committed_at) {
+  CommitInfo info;
+  info.epoch = epoch_++;
+  info.durable_at = committed_at;
+  ImageRecord rec;
+  rec.epoch = info.epoch;
+  rec.group = std::move(group);
+  rec.ckpt_name = std::move(ckpt_name);
+  rec.committed_at = committed_at;
+  if (!manifest.empty()) {
+    rec.manifest_oid = Oid{AllocOid()};
+    info.manifest_oid = rec.manifest_oid;
+    rec.manifest = std::move(manifest);
+  }
+  images_.push_back(std::move(rec));
+  return info;
+}
+
+const MemoryBackend::ObjectImage* MemoryBackend::FindObject(uint64_t oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<const MemoryBackend::ImageRecord*> MemoryBackend::FindImage(const std::string& group_name,
+                                                                   uint64_t epoch) const {
+  for (auto it = images_.rbegin(); it != images_.rend(); ++it) {
+    if (it->manifest.empty()) {
+      continue;  // manifest-less seal (sls_memckpt)
+    }
+    if (epoch != 0 && it->epoch != epoch) {
+      continue;
+    }
+    if (it->group == group_name) {
+      return &*it;
+    }
+    if (epoch != 0) {
+      break;
+    }
+  }
+  return Status::Error(Errc::kNotFound, "no checkpoint image for group " + group_name);
+}
+
+Result<CheckpointBackend::LoadedManifest> MemoryBackend::LoadManifest(
+    const std::string& group_name, uint64_t epoch) {
+  AURORA_ASSIGN_OR_RETURN(const ImageRecord* rec, FindImage(group_name, epoch));
+  sim_->clock.Advance(sim_->cost.MemCopy(rec->manifest.size()));
+  LoadedManifest loaded;
+  loaded.epoch = rec->epoch;
+  loaded.oid = rec->manifest_oid;
+  loaded.blob = rec->manifest;
+  return loaded;
+}
+
+Result<MemoryResolverFn> MemoryBackend::MakeResolver(uint64_t epoch, RestoreMode mode,
+                                                     std::shared_ptr<SimTime> stream_done) {
+  (void)epoch;  // images are written once; any epoch sees the same pages
+  if (mode == RestoreMode::kFull) {
+    return MemoryResolverFn(
+        [this, stream_done](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+          auto obj = VmObject::CreateAnonymous(size);
+          uint64_t copied = 0;
+          if (const ObjectImage* img = FindObject(oid.value)) {
+            for (const auto& [pgidx, data] : img->pages) {
+              obj->InstallPage(pgidx, data.data());
+              copied += kPageSize;
+            }
+          }
+          // The copy-in stream runs concurrently with OS-state rebuilding;
+          // the caller advances to its completion once at the end.
+          *stream_done += sim_->cost.MemCopy(copied);
+          return ResolvedMemory{std::move(obj), false};
+        });
+  }
+  if (mode == RestoreMode::kLazy) {
+    return MemoryResolverFn([this](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+      auto obj = VmObject::CreateAnonymous(size);
+      SimContext* sim = sim_;
+      MemoryBackend* backend = this;
+      uint64_t key = oid.value;
+      obj->set_pager([sim, backend, key](uint64_t pgidx, uint8_t* out) {
+        const ObjectImage* img = backend->FindObject(key);
+        if (img == nullptr) {
+          return false;
+        }
+        auto page = img->pages.find(pgidx);
+        if (page == img->pages.end()) {
+          return false;
+        }
+        sim->clock.Advance(sim->cost.MemCopy(kPageSize));
+        std::copy(page->second.begin(), page->second.end(), out);
+        return true;
+      });
+      return ResolvedMemory{std::move(obj), false};
+    });
+  }
+  return Status::Error(Errc::kInvalidArgument, "kFromMemory resolves without a backend");
+}
+
+bool MemoryBackend::InstallPager(VmObject* base) {
+  if (base->parent() != nullptr || base->sls_oid() == 0) {
+    return base->has_pager();
+  }
+  if (base->has_pager()) {
+    return true;
+  }
+  SimContext* sim = sim_;
+  MemoryBackend* backend = this;
+  uint64_t key = base->sls_oid();
+  base->set_pager([sim, backend, key](uint64_t pgidx, uint8_t* out) {
+    const ObjectImage* img = backend->FindObject(key);
+    if (img == nullptr) {
+      return false;
+    }
+    auto page = img->pages.find(pgidx);
+    if (page == img->pages.end()) {
+      return false;
+    }
+    sim->clock.Advance(sim->cost.MemCopy(kPageSize));
+    std::copy(page->second.begin(), page->second.end(), out);
+    return true;
+  });
+  return true;
+}
+
+// -----------------------------------------------------------------------------
+// NetBackend
+// -----------------------------------------------------------------------------
+
+SimTime NetBackend::QueueTransfer(uint64_t payload) {
+  SimTime start = std::max(sim_->clock.now(), link_free_at_);
+  SimTime done = start + sim_->cost.NetTransfer(payload);
+  link_free_at_ = done;
+  sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(payload);
+  sim_->metrics.histogram("backend." + name_ + ".transfer_time").Record(done - sim_->clock.now());
+  return done;
+}
+
+Result<Oid> NetBackend::CreateMemoryObject(uint64_t size_hint) {
+  // Object naming piggybacks on the stream framing; no transfer of its own.
+  uint64_t oid = remote_->AllocOid();
+  remote_->DeclareObject(oid, size_hint);
+  return Oid{oid};
+}
+
+Result<SimTime> NetBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                             uint64_t* bytes) {
+  uint64_t shipped = 0;
+  for (const auto& [pgidx, frame] : obj->pages()) {
+    remote_->StagePage(oid.value, obj->size(), pgidx, frame->data.data());
+    shipped += kPageSize + kPageHeaderBytes;
+    if (pages != nullptr) {
+      (*pages)++;
+    }
+    if (bytes != nullptr) {
+      *bytes += kPageSize;
+    }
+  }
+  if (shipped == 0) {
+    return sim_->clock.now();
+  }
+  // Asynchronous NIC push: queue behind earlier transfers, don't stall the
+  // application. Durability is arrival at the peer's image table.
+  SimTime done = QueueTransfer(shipped);
+  obj->set_busy_until(done);
+  return done;
+}
+
+Result<CheckpointBackend::CommitInfo> NetBackend::CommitEpoch(
+    const std::string& ckpt_name, const std::vector<uint8_t>& manifest, Oid replaces_manifest) {
+  (void)replaces_manifest;  // the peer's image table is append-only
+  std::string group;
+  if (!manifest.empty()) {
+    auto head = PeekManifest(manifest);
+    if (head.ok()) {
+      group = head->name;
+    }
+  }
+  // Commit record + manifest ride one framed message.
+  SimTime done = QueueTransfer(manifest.size() + 64);
+  sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
+  return remote_->Seal(std::move(group), ckpt_name, manifest, done);
+}
+
+Result<CheckpointBackend::LoadedManifest> NetBackend::LoadManifest(const std::string& group_name,
+                                                                   uint64_t epoch) {
+  AURORA_ASSIGN_OR_RETURN(const MemoryBackend::ImageRecord* rec,
+                          remote_->FindImage(group_name, epoch));
+  // Foreground pull: the restore blocks on the round trip.
+  sim_->clock.Advance(sim_->cost.NetTransfer(rec->manifest.size()));
+  LoadedManifest loaded;
+  loaded.epoch = rec->epoch;
+  loaded.oid = rec->manifest_oid;
+  loaded.blob = rec->manifest;
+  return loaded;
+}
+
+Result<MemoryResolverFn> NetBackend::MakeResolver(uint64_t epoch, RestoreMode mode,
+                                                  std::shared_ptr<SimTime> stream_done) {
+  (void)epoch;
+  MemoryBackend* remote = remote_;
+  SimContext* sim = sim_;
+  if (mode == RestoreMode::kFull) {
+    return MemoryResolverFn(
+        [remote, sim, stream_done](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+          auto obj = VmObject::CreateAnonymous(size);
+          uint64_t payload = 0;
+          if (const MemoryBackend::ObjectImage* img = remote->FindObject(oid.value)) {
+            for (const auto& [pgidx, data] : img->pages) {
+              obj->InstallPage(pgidx, data.data());
+              payload += kPageSize + kPageHeaderBytes;
+            }
+          }
+          // Pull stream: objects arrive back-to-back over the link while the
+          // OS state rebuilds; the caller advances to completion at the end.
+          *stream_done += sim->cost.NetTransfer(payload);
+          return ResolvedMemory{std::move(obj), false};
+        });
+  }
+  if (mode == RestoreMode::kLazy) {
+    return MemoryResolverFn([remote, sim](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+      auto obj = VmObject::CreateAnonymous(size);
+      uint64_t key = oid.value;
+      obj->set_pager([remote, sim, key](uint64_t pgidx, uint8_t* out) {
+        const MemoryBackend::ObjectImage* img = remote->FindObject(key);
+        if (img == nullptr) {
+          return false;
+        }
+        auto page = img->pages.find(pgidx);
+        if (page == img->pages.end()) {
+          return false;
+        }
+        // Remote paging: one synchronous round trip per fault.
+        sim->clock.Advance(sim->cost.NetTransfer(kPageSize + kPageHeaderBytes));
+        std::copy(page->second.begin(), page->second.end(), out);
+        return true;
+      });
+      return ResolvedMemory{std::move(obj), false};
+    });
+  }
+  return Status::Error(Errc::kInvalidArgument, "kFromMemory resolves without a backend");
+}
+
+bool NetBackend::InstallPager(VmObject* base) {
+  if (base->parent() != nullptr || base->sls_oid() == 0) {
+    return base->has_pager();
+  }
+  if (base->has_pager()) {
+    return true;
+  }
+  MemoryBackend* remote = remote_;
+  SimContext* sim = sim_;
+  uint64_t key = base->sls_oid();
+  base->set_pager([remote, sim, key](uint64_t pgidx, uint8_t* out) {
+    const MemoryBackend::ObjectImage* img = remote->FindObject(key);
+    if (img == nullptr) {
+      return false;
+    }
+    auto page = img->pages.find(pgidx);
+    if (page == img->pages.end()) {
+      return false;
+    }
+    sim->clock.Advance(sim->cost.NetTransfer(kPageSize + kPageHeaderBytes));
+    std::copy(page->second.begin(), page->second.end(), out);
+    return true;
+  });
+  return true;
+}
+
+// -----------------------------------------------------------------------------
+// Shared store helpers
+// -----------------------------------------------------------------------------
+
+Result<std::pair<uint64_t, Oid>> FindManifestInStore(ObjectStore* store,
+                                                     const std::string& group_name,
+                                                     uint64_t epoch) {
+  std::vector<CheckpointInfo> ckpts = store->ListCheckpoints();
+  std::sort(ckpts.begin(), ckpts.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) { return a.epoch > b.epoch; });
+  for (const CheckpointInfo& c : ckpts) {
+    if (epoch != 0 && c.epoch != epoch) {
+      continue;
+    }
+    auto oids = store->ObjectsAtEpoch(c.epoch);
+    if (!oids.ok()) {
+      continue;
+    }
+    for (Oid oid : *oids) {
+      auto type = store->TypeAtEpoch(c.epoch, oid);
+      if (!type.ok() || *type != ObjType::kManifest) {
+        continue;
+      }
+      auto size = store->SizeAtEpoch(c.epoch, oid);
+      if (!size.ok()) {
+        continue;
+      }
+      std::vector<uint8_t> blob(*size);
+      if (!store->ReadAtEpoch(c.epoch, oid, 0, blob.data(), blob.size()).ok()) {
+        continue;
+      }
+      auto head = PeekManifest(blob);
+      if (head.ok() && head->name == group_name) {
+        return std::make_pair(c.epoch, oid);
+      }
+    }
+    if (epoch != 0) {
+      break;
+    }
+  }
+  return Status::Error(Errc::kNotFound, "no checkpoint manifest for group " + group_name);
+}
+
+Result<CheckpointBackend::LoadedManifest> LoadManifestFromStore(ObjectStore* store,
+                                                                const std::string& group_name,
+                                                                uint64_t epoch) {
+  AURORA_ASSIGN_OR_RETURN(auto found, FindManifestInStore(store, group_name, epoch));
+  CheckpointBackend::LoadedManifest loaded;
+  loaded.epoch = found.first;
+  loaded.oid = found.second;
+  AURORA_ASSIGN_OR_RETURN(uint64_t size, store->SizeAtEpoch(loaded.epoch, loaded.oid));
+  loaded.blob.resize(size);
+  AURORA_RETURN_IF_ERROR(
+      store->ReadAtEpoch(loaded.epoch, loaded.oid, 0, loaded.blob.data(), loaded.blob.size()));
+  return loaded;
+}
+
+// -----------------------------------------------------------------------------
+// Migration stream codec
+// -----------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeCheckpointStream(const StreamPayload& payload) {
+  BinaryWriter w;
+  w.PutU32(kStreamMagic);
+  w.PutU64(payload.epoch);
+  w.PutU64(payload.since_epoch);
+  w.PutBytes(payload.manifest.data(), payload.manifest.size());
+  w.PutU64(payload.objects.size());
+  for (const auto& [oid, data] : payload.objects) {
+    w.PutU64(oid);
+    w.PutU64(data.size);
+    w.PutU64(data.blocks.size());
+    for (const auto& [block, raw] : data.blocks) {
+      w.PutU64(block);
+      w.PutRaw(raw.data(), raw.size());
+    }
+  }
+  return w.Take();
+}
+
+Result<StreamPayload> DecodeCheckpointStream(const std::vector<uint8_t>& bytes,
+                                             uint32_t block_size) {
+  BinaryReader r(bytes);
+  AURORA_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kStreamMagic) {
+    return Status::Error(Errc::kCorrupt, "bad checkpoint stream");
+  }
+  StreamPayload payload;
+  AURORA_ASSIGN_OR_RETURN(payload.epoch, r.U64());
+  AURORA_ASSIGN_OR_RETURN(payload.since_epoch, r.U64());
+  AURORA_ASSIGN_OR_RETURN(payload.manifest, r.Bytes());
+  AURORA_ASSIGN_OR_RETURN(uint64_t nmem, r.U64());
+  for (uint64_t i = 0; i < nmem; i++) {
+    AURORA_ASSIGN_OR_RETURN(uint64_t oid, r.U64());
+    StreamPayload::ObjectData data;
+    AURORA_ASSIGN_OR_RETURN(data.size, r.U64());
+    AURORA_ASSIGN_OR_RETURN(uint64_t nblocks, r.U64());
+    for (uint64_t b = 0; b < nblocks; b++) {
+      AURORA_ASSIGN_OR_RETURN(uint64_t block, r.U64());
+      std::vector<uint8_t> raw(block_size);
+      AURORA_RETURN_IF_ERROR(r.Raw(raw.data(), raw.size()));
+      data.blocks[block] = std::move(raw);
+    }
+    payload.objects.emplace_back(oid, std::move(data));
+  }
+  return payload;
+}
+
+}  // namespace aurora

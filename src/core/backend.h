@@ -1,0 +1,297 @@
+// Pluggable checkpoint backends (paper section 4, Table 2).
+//
+// Aurora ships checkpoints to interchangeable destinations: the local COW
+// object store, RAM-resident snapshot images (the memory-backend ablation),
+// and a remote machine over the NIC (`sls send` / `sls recv`). The Sls
+// checkpoint/restore engine talks to all of them through CheckpointBackend,
+// so the pipeline stages — quiesce, serialize, shadow, resume, async flush,
+// commit, release — are written once and the destination only decides where
+// bytes land and what each transfer costs.
+//
+// Durability timing model: WriteObjectPages/CommitEpoch stage their data
+// synchronously (the simulation's state is updated immediately) but return
+// the simulated time the bytes become durable, which may be in the future —
+// the flush overlaps application execution exactly as the store path always
+// has.
+#ifndef SRC_CORE_BACKEND_H_
+#define SRC_CORE_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_context.h"
+#include "src/core/serialize.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+
+namespace aurora {
+
+enum class CheckpointMode {
+  kFull,        // serialize + shadow + flush to the backend + commit
+  kMemoryOnly,  // serialize + shadow only; snapshot stays in memory
+};
+
+enum class RestoreMode {
+  kFull,        // materialize all pages from the backend eagerly
+  kLazy,        // restore OS state only; pages fault in on demand
+  kFromMemory,  // rollback to the in-memory snapshot (no backend reads)
+};
+
+class CheckpointBackend {
+ public:
+  virtual ~CheckpointBackend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // --- Checkpoint destination ----------------------------------------------
+  // Epoch the next commit will seal (matches ObjectStore::current_epoch()).
+  virtual uint64_t current_epoch() const = 0;
+  // Names a new memory-region object in this backend's namespace.
+  virtual Result<Oid> CreateMemoryObject(uint64_t size_hint) = 0;
+  // Persists the file-system namespace; backends without a filesystem return
+  // kInvalidOid and the manifest simply records no namespace.
+  virtual Result<Oid> PersistNamespace() = 0;
+  // Ships every resident page of `obj` to the object named `oid`, returning
+  // the simulated time the pages are durable at the destination. Increments
+  // *pages / *bytes per page shipped when non-null.
+  virtual Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                           uint64_t* bytes) = 0;
+  // Flushes file data dirtied since the last checkpoint (checkpoint
+  // consistency makes fsync a no-op); no-op for backends without files.
+  virtual Result<SimTime> FlushFilesystem() = 0;
+
+  struct CommitInfo {
+    uint64_t epoch = 0;     // epoch this checkpoint committed as
+    Oid manifest_oid;       // invalid when `manifest` was empty
+    SimTime durable_at = 0; // when the manifest + commit record are durable
+  };
+  // Seals the epoch: writes the manifest (skipped when empty, e.g. for
+  // sls_memckpt region checkpoints) and commits. `replaces_manifest` is the
+  // group's previous manifest object, dropped from the live table.
+  virtual Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                         const std::vector<uint8_t>& manifest,
+                                         Oid replaces_manifest) = 0;
+
+  // --- Restore source ------------------------------------------------------
+  struct LoadedManifest {
+    uint64_t epoch = 0;
+    Oid oid;
+    std::vector<uint8_t> blob;
+  };
+  // Finds and reads the manifest for `group_name` at `epoch` (0 = newest).
+  virtual Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                              uint64_t epoch) = 0;
+  // Rolls the file-system namespace back to the checkpointed one.
+  virtual Status RestoreNamespace(uint64_t epoch, Oid ns_oid) = 0;
+  // Builds the memory resolver RestoreOsState uses to materialize each
+  // region object. kFull resolvers stream eagerly and accumulate their read
+  // completion into *stream_done (the caller advances to it once at the
+  // end); kLazy resolvers install demand pagers.
+  virtual Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
+                                                std::shared_ptr<SimTime> stream_done) = 0;
+
+  // --- Unified checkpoint/swap path (paper section 6) ----------------------
+  // Backs the fully-durable, parentless object `base` with this backend so
+  // dropped frames stream back on fault. Returns false when `base` cannot be
+  // safely paged (no oid, mid-chain, ...) — the caller must then keep its
+  // frames resident.
+  virtual bool InstallPager(VmObject* base) = 0;
+};
+
+// -----------------------------------------------------------------------------
+// StoreBackend: today's path — the local COW object store + AuroraFS.
+// -----------------------------------------------------------------------------
+class StoreBackend : public CheckpointBackend {
+ public:
+  StoreBackend(SimContext* sim, ObjectStore* store, AuroraFs* fs)
+      : sim_(sim), store_(store), fs_(fs) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t current_epoch() const override { return store_->current_epoch(); }
+  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  Result<Oid> PersistNamespace() override { return fs_->PersistNamespace(); }
+  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                   uint64_t* bytes) override;
+  Result<SimTime> FlushFilesystem() override { return fs_->FlushAll(); }
+  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                 const std::vector<uint8_t>& manifest,
+                                 Oid replaces_manifest) override;
+  Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                      uint64_t epoch) override;
+  Status RestoreNamespace(uint64_t epoch, Oid ns_oid) override {
+    return fs_->RestoreNamespace(epoch, ns_oid);
+  }
+  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
+                                        std::shared_ptr<SimTime> stream_done) override;
+  bool InstallPager(VmObject* base) override;
+
+  ObjectStore* store() { return store_; }
+
+ private:
+  SimContext* sim_;
+  ObjectStore* store_;
+  AuroraFs* fs_;
+  std::string name_ = "store";
+};
+
+// -----------------------------------------------------------------------------
+// MemoryBackend: RAM-resident checkpoint images (the paper's memory-backend
+// ablation). An asynchronous flusher copies pages into per-object images at
+// memcpy bandwidth; images survive process teardown but not machine reboot.
+// Also serves as the receiving side of a NetBackend: the NIC stages pages
+// into a peer machine's MemoryBackend image table.
+// -----------------------------------------------------------------------------
+class MemoryBackend : public CheckpointBackend {
+ public:
+  explicit MemoryBackend(SimContext* sim, std::string name = "memory")
+      : sim_(sim), name_(std::move(name)) {}
+
+  struct ObjectImage {
+    uint64_t size = 0;
+    std::map<uint64_t, std::vector<uint8_t>> pages;  // pgidx -> one 4 KiB page
+  };
+  struct ImageRecord {
+    uint64_t epoch = 0;
+    std::string group;
+    std::string ckpt_name;
+    Oid manifest_oid;
+    std::vector<uint8_t> manifest;
+    SimTime committed_at = 0;
+  };
+
+  const std::string& name() const override { return name_; }
+  uint64_t current_epoch() const override { return epoch_; }
+  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  Result<Oid> PersistNamespace() override { return kInvalidOid; }
+  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                   uint64_t* bytes) override;
+  Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
+  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                 const std::vector<uint8_t>& manifest,
+                                 Oid replaces_manifest) override;
+  Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                      uint64_t epoch) override;
+  Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
+    return Status::Error(Errc::kNotSupported, "memory backend holds no namespace");
+  }
+  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
+                                        std::shared_ptr<SimTime> stream_done) override;
+  bool InstallPager(VmObject* base) override;
+
+  // Cost-free staging primitives for a NetBackend feeding this image table
+  // from across the link (the sender charges the NIC, not our flusher).
+  uint64_t AllocOid() { return next_oid_++; }
+  void DeclareObject(uint64_t oid, uint64_t size);
+  void StagePage(uint64_t oid, uint64_t object_size, uint64_t pgidx, const uint8_t* data);
+  CommitInfo Seal(std::string group, std::string ckpt_name, std::vector<uint8_t> manifest,
+                  SimTime committed_at);
+
+  const ObjectImage* FindObject(uint64_t oid) const;
+  Result<const ImageRecord*> FindImage(const std::string& group_name, uint64_t epoch) const;
+  const std::vector<ImageRecord>& images() const { return images_; }
+
+ private:
+  SimContext* sim_;
+  std::string name_;
+  uint64_t next_oid_ = 1;
+  uint64_t epoch_ = 1;
+  // When the asynchronous flusher drains its queue; new work starts at
+  // max(now, flusher_free_at_) so back-to-back checkpoints queue up.
+  SimTime flusher_free_at_ = 0;
+  std::map<uint64_t, ObjectImage> objects_;
+  std::vector<ImageRecord> images_;
+};
+
+// -----------------------------------------------------------------------------
+// NetBackend: checkpoints stream to a peer machine's MemoryBackend over the
+// simulated NIC. Every page batch and manifest is charged
+// CostModel::NetTransfer on a dedicated link timeline (transfers queue
+// behind one another), subsuming what `sls send` does per stream; restores
+// pull the image back across the link. The peer's MemoryBackend may belong
+// to another simulated machine — its clock is never touched from here.
+// -----------------------------------------------------------------------------
+class NetBackend : public CheckpointBackend {
+ public:
+  NetBackend(SimContext* sim, MemoryBackend* remote, std::string name = "net")
+      : sim_(sim), remote_(remote), name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t current_epoch() const override { return remote_->current_epoch(); }
+  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  Result<Oid> PersistNamespace() override { return kInvalidOid; }
+  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                   uint64_t* bytes) override;
+  Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
+  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                 const std::vector<uint8_t>& manifest,
+                                 Oid replaces_manifest) override;
+  Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                      uint64_t epoch) override;
+  Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
+    return Status::Error(Errc::kNotSupported, "net backend holds no namespace");
+  }
+  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
+                                        std::shared_ptr<SimTime> stream_done) override;
+  bool InstallPager(VmObject* base) override;
+
+  MemoryBackend* remote() { return remote_; }
+
+ private:
+  // Per-page wire framing: page index + length (matches the migration
+  // stream's per-block header granularity).
+  static constexpr uint64_t kPageHeaderBytes = 16;
+
+  // Queues `payload` bytes onto the link, returning arrival time. Never
+  // advances the local clock — checkpoint shipping is asynchronous.
+  SimTime QueueTransfer(uint64_t payload);
+
+  SimContext* sim_;
+  MemoryBackend* remote_;
+  std::string name_;
+  SimTime link_free_at_ = 0;
+};
+
+// -----------------------------------------------------------------------------
+// Shared store helpers (used by Sls, StoreBackend and `sls send`, so manifest
+// lookup is implemented exactly once).
+// -----------------------------------------------------------------------------
+// Scans committed checkpoints newest-first for a manifest whose header names
+// `group_name`; `epoch` 0 = newest. Returns (epoch, manifest oid).
+Result<std::pair<uint64_t, Oid>> FindManifestInStore(ObjectStore* store,
+                                                     const std::string& group_name,
+                                                     uint64_t epoch);
+// FindManifestInStore plus the final manifest read.
+Result<CheckpointBackend::LoadedManifest> LoadManifestFromStore(ObjectStore* store,
+                                                                const std::string& group_name,
+                                                                uint64_t epoch);
+
+// -----------------------------------------------------------------------------
+// Migration stream codec (`sls send` / `sls recv` wire format, magic "ASND").
+// Layout: u32 magic, u64 epoch, u64 since_epoch, bytes manifest, u64 nmem,
+// then per object: u64 oid, u64 size, u64 nblocks, nblocks x (u64 block,
+// raw store-block payload).
+// -----------------------------------------------------------------------------
+struct StreamPayload {
+  uint64_t epoch = 0;
+  uint64_t since_epoch = 0;
+  std::vector<uint8_t> manifest;
+  struct ObjectData {
+    uint64_t size = 0;
+    std::map<uint64_t, std::vector<uint8_t>> blocks;  // block index -> raw block
+  };
+  // Source oid -> contents; iteration order is the wire order.
+  std::vector<std::pair<uint64_t, ObjectData>> objects;
+};
+
+std::vector<uint8_t> EncodeCheckpointStream(const StreamPayload& payload);
+Result<StreamPayload> DecodeCheckpointStream(const std::vector<uint8_t>& bytes,
+                                             uint32_t block_size);
+
+}  // namespace aurora
+
+#endif  // SRC_CORE_BACKEND_H_

@@ -2,14 +2,9 @@
 
 #include <cstdio>
 
-#include "src/base/serializer.h"
 #include "src/core/coredump.h"
 
 namespace aurora {
-
-namespace {
-constexpr uint32_t kStreamMagic = 0x41534e44;  // "ASND"
-}
 
 Result<ConsistencyGroup*> SlsCli::Attach(const std::string& group_name, Process* proc) {
   ConsistencyGroup* group = sls_->FindGroup(group_name);
@@ -29,17 +24,48 @@ Status SlsCli::Detach(Process* proc) {
 }
 
 Result<CheckpointResult> SlsCli::Checkpoint(const std::string& group_name,
-                                            const std::string& name) {
+                                            const std::string& name,
+                                            const std::string& backend_name) {
   ConsistencyGroup* group = sls_->FindGroup(group_name);
   if (group == nullptr) {
     return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  if (!backend_name.empty()) {
+    AURORA_RETURN_IF_ERROR(sls_->SetBackend(group, backend_name));
   }
   return sls_->Checkpoint(group, name);
 }
 
 Result<RestoreResult> SlsCli::Restore(const std::string& group_name, uint64_t epoch,
-                                      RestoreMode mode) {
-  return sls_->Restore(group_name, epoch, mode);
+                                      RestoreMode mode, const std::string& backend_name) {
+  CheckpointBackend* backend = nullptr;
+  if (!backend_name.empty()) {
+    backend = sls_->FindBackend(backend_name);
+    if (backend == nullptr) {
+      return Status::Error(Errc::kNotFound, "no such backend: " + backend_name);
+    }
+  }
+  return sls_->Restore(group_name, epoch, mode, backend);
+}
+
+Status SlsCli::SetBackend(const std::string& group_name, const std::string& backend_name) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  return sls_->SetBackend(group, backend_name);
+}
+
+Status SlsCli::SetInFlightEpochs(const std::string& group_name, uint32_t limit) {
+  ConsistencyGroup* group = sls_->FindGroup(group_name);
+  if (group == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such group: " + group_name);
+  }
+  if (limit == 0) {
+    return Status::Error(Errc::kInvalidArgument, "in-flight epoch limit must be >= 1");
+  }
+  group->max_in_flight_epochs = limit;
+  return Status::Ok();
 }
 
 std::vector<std::string> SlsCli::Ps() {
@@ -140,42 +166,38 @@ Status SlsCli::Prune(uint64_t epoch) { return sls_->store()->DeleteCheckpointsBe
 
 Result<CheckpointStream> SlsCli::Send(const std::string& group_name, uint64_t epoch,
                                       uint64_t since_epoch) {
-  AURORA_ASSIGN_OR_RETURN(auto found, sls_->FindManifest(group_name, epoch));
-  uint64_t e = found.first;
+  // Manifest lookup is the same helper Sls::Restore and StoreBackend use.
   ObjectStore* store = sls_->store();
-  AURORA_ASSIGN_OR_RETURN(uint64_t manifest_size, store->SizeAtEpoch(e, found.second));
-  std::vector<uint8_t> manifest(manifest_size);
-  AURORA_RETURN_IF_ERROR(
-      store->ReadAtEpoch(e, found.second, 0, manifest.data(), manifest.size()));
+  AURORA_ASSIGN_OR_RETURN(CheckpointBackend::LoadedManifest loaded,
+                          LoadManifestFromStore(store, group_name, epoch));
 
-  BinaryWriter w;
-  w.PutU32(kStreamMagic);
-  w.PutU64(e);
-  w.PutU64(since_epoch);
-  w.PutBytes(manifest.data(), manifest.size());
-  AURORA_ASSIGN_OR_RETURN(auto memory, ManifestMemoryObjects(manifest));
-  w.PutU64(memory.size());
+  StreamPayload payload;
+  payload.epoch = loaded.epoch;
+  payload.since_epoch = since_epoch;
+  payload.manifest = std::move(loaded.blob);
+  AURORA_ASSIGN_OR_RETURN(auto memory, ManifestMemoryObjects(payload.manifest));
   uint32_t bs = store->block_size();
   std::vector<uint8_t> buf(bs);
   for (const auto& [oid, size] : memory) {
-    w.PutU64(oid);
-    w.PutU64(size);
-    std::vector<uint64_t> blocks;
-    auto got = since_epoch == 0 ? store->BlocksAtEpoch(e, Oid{oid})
-                                : store->ChangedBlocksSince(since_epoch, e, Oid{oid});
+    StreamPayload::ObjectData data;
+    data.size = size;
+    auto got = since_epoch == 0
+                   ? store->BlocksAtEpoch(payload.epoch, Oid{oid})
+                   : store->ChangedBlocksSince(since_epoch, payload.epoch, Oid{oid});
     if (got.ok()) {
-      blocks = *got;
+      for (uint64_t block : *got) {
+        AURORA_RETURN_IF_ERROR(
+            store->ReadAtEpoch(payload.epoch, Oid{oid}, block * bs, buf.data(), bs));
+        data.blocks[block] = buf;
+      }
     }
-    w.PutU64(blocks.size());
-    for (uint64_t block : blocks) {
-      AURORA_RETURN_IF_ERROR(store->ReadAtEpoch(e, Oid{oid}, block * bs, buf.data(), bs));
-      w.PutU64(block);
-      w.PutRaw(buf.data(), buf.size());
-    }
+    payload.objects.emplace_back(oid, std::move(data));
   }
+
+  std::vector<uint8_t> bytes = EncodeCheckpointStream(payload);
   // Ship it: one streaming transfer over the 10 GbE link.
-  sls_->sim()->clock.Advance(sls_->sim()->cost.NetTransfer(w.size()));
-  return CheckpointStream{w.Take()};
+  sls_->sim()->clock.Advance(sls_->sim()->cost.NetTransfer(bytes.size()));
+  return CheckpointStream{std::move(bytes)};
 }
 
 Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSession* session) {
@@ -183,35 +205,21 @@ Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSess
   SimStopwatch watch(sim->clock);
   sim->clock.Advance(sim->cost.NetTransfer(stream.bytes.size()));
 
-  BinaryReader r(stream.bytes);
-  AURORA_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
-  if (magic != kStreamMagic) {
-    return Status::Error(Errc::kCorrupt, "bad checkpoint stream");
-  }
-  AURORA_ASSIGN_OR_RETURN(uint64_t stream_epoch, r.U64());
-  AURORA_ASSIGN_OR_RETURN(uint64_t since_epoch, r.U64());
-  if (since_epoch != 0 &&
-      (session == nullptr || session->last_epoch == 0 || since_epoch > session->last_epoch)) {
+  // Same codec NetBackend speaks; Recv is the store-and-instantiate side.
+  uint32_t bs = sls_->store()->block_size();
+  AURORA_ASSIGN_OR_RETURN(StreamPayload payload,
+                          DecodeCheckpointStream(stream.bytes, bs));
+  if (payload.since_epoch != 0 &&
+      (session == nullptr || session->last_epoch == 0 ||
+       payload.since_epoch > session->last_epoch)) {
     return Status::Error(Errc::kBadState,
                          "incremental stream without a matching base image");
   }
-  AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest, r.Bytes());
 
-  // Stage the memory contents.
-  std::map<uint64_t, std::map<uint64_t, std::vector<uint8_t>>> staged;  // oid -> block -> data
-  uint32_t bs = sls_->store()->block_size();
-  AURORA_ASSIGN_OR_RETURN(uint64_t nmem, r.U64());
-  for (uint64_t i = 0; i < nmem; i++) {
-    AURORA_ASSIGN_OR_RETURN(uint64_t oid, r.U64());
-    AURORA_ASSIGN_OR_RETURN(uint64_t size, r.U64());
-    (void)size;
-    AURORA_ASSIGN_OR_RETURN(uint64_t nblocks, r.U64());
-    for (uint64_t b = 0; b < nblocks; b++) {
-      AURORA_ASSIGN_OR_RETURN(uint64_t block, r.U64());
-      std::vector<uint8_t> data(bs);
-      AURORA_RETURN_IF_ERROR(r.Raw(data.data(), data.size()));
-      staged[oid][block] = std::move(data);
-    }
+  // Index the staged contents by source oid for the resolver.
+  std::map<uint64_t, const StreamPayload::ObjectData*> staged;
+  for (const auto& [oid, data] : payload.objects) {
+    staged[oid] = &data;
   }
 
   auto new_session_objects =
@@ -230,7 +238,7 @@ Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSess
     }
     auto it = staged.find(oid.value);
     if (it != staged.end()) {
-      for (const auto& [block, data] : it->second) {
+      for (const auto& [block, data] : it->second->blocks) {
         for (uint64_t p = 0; p < bs / kPageSize; p++) {
           obj->InstallPage(block * (bs / kPageSize) + p, data.data() + p * kPageSize);
         }
@@ -242,7 +250,7 @@ Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSess
 
   AURORA_ASSIGN_OR_RETURN(
       RestoredGroup restored,
-      RestoreOsState(sim, sls_->kernel(), sls_->fs(), manifest, resolve));
+      RestoreOsState(sim, sls_->kernel(), sls_->fs(), payload.manifest, resolve));
 
   // Source-store OIDs mean nothing here: clear them so this machine's first
   // checkpoint assigns fresh local objects and flushes everything once.
@@ -275,7 +283,7 @@ Result<RestoreResult> SlsCli::Recv(const CheckpointStream& stream, MigrationSess
   group->suspended = false;
 
   if (session != nullptr) {
-    session->last_epoch = stream_epoch;
+    session->last_epoch = payload.epoch;
     session->source_objects = std::move(*new_session_objects);
   }
 

@@ -34,11 +34,24 @@ class SlsCli {
   // sls detach: makes the process ephemeral — still quiesced with its
   // group, no longer persisted (Table 2).
   Status Detach(Process* proc);
-  // sls checkpoint: manual named checkpoint.
-  Result<CheckpointResult> Checkpoint(const std::string& group_name, const std::string& name);
-  // sls restore.
+  // sls checkpoint: manual named checkpoint. A non-empty `backend_name`
+  // (`sls ckpt --backend=`) routes the group's checkpoints through that
+  // backend first (see SetBackend for when that is legal).
+  Result<CheckpointResult> Checkpoint(const std::string& group_name, const std::string& name,
+                                      const std::string& backend_name = "");
+  // sls restore. A non-empty `backend_name` restores from that backend
+  // instead of the local object store.
   Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
-                                RestoreMode mode = RestoreMode::kFull);
+                                RestoreMode mode = RestoreMode::kFull,
+                                const std::string& backend_name = "");
+  // sls ckpt --backend=<name>: routes the group's future checkpoints through
+  // the named backend (store / memory / net). Legal only while the group has
+  // no checkpoint state in flight.
+  Status SetBackend(const std::string& group_name, const std::string& backend_name);
+  // sls ckpt --in-flight-epochs=<n>: epoch-overlap backpressure knob for
+  // periodic checkpoints. 1 (default) = a new epoch never starts before the
+  // previous flush is durable; 2 = one flush may still be in flight.
+  Status SetInFlightEpochs(const std::string& group_name, uint32_t limit);
   // sls ps: human-readable listing of groups and their checkpoints.
   std::vector<std::string> Ps();
   // sls stat: human-readable snapshot of the machine-wide metrics registry —

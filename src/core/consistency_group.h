@@ -17,6 +17,8 @@
 
 namespace aurora {
 
+class CheckpointBackend;
+
 class ConsistencyGroup {
  public:
   ConsistencyGroup(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
@@ -33,6 +35,26 @@ class ConsistencyGroup {
   SimDuration period = 10 * kMillisecond;
   bool external_sync = true;
   bool collapse_reversed = true;  // Aurora's collapse direction (ablatable)
+
+  // Checkpoint destination. Null means the machine's object store; set a
+  // registered backend via Sls::SetBackend before the first checkpoint.
+  CheckpointBackend* backend = nullptr;
+
+  // Epoch overlap: how many checkpoint flushes may still be in flight when
+  // the periodic scheduler opens a new epoch. 1 (the paper's behavior)
+  // serializes epochs on durability; 2 overlaps epoch N+1's serialization
+  // with epoch N's flush.
+  uint32_t max_in_flight_epochs = 1;
+  // Durability times of flushes not yet known durable, pruned against now.
+  std::vector<SimTime> inflight_durable;
+  // One record per committed full checkpoint, for backpressure tests and
+  // the overlap ablation.
+  struct CkptRecord {
+    SimTime begin = 0;    // when the checkpoint pipeline entered
+    SimTime durable = 0;  // when its flush + commit became durable
+    uint64_t epoch = 0;
+  };
+  std::vector<CkptRecord> ckpt_history;
 
   // Memory overcommitment (paper section 6): when set, pages are dropped
   // from memory as soon as their checkpoint flush completes — the unified

@@ -491,6 +491,33 @@ Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* 
   AURORA_ASSIGN_OR_RETURN(out.epoch, r.U64());
   AURORA_ASSIGN_OR_RETURN(out.namespace_oid.value, r.U64());
 
+  // A mid-restore failure (truncated manifest, resolver error, mapping
+  // conflict) must not leak half-built state: every process created below
+  // lands in the kernel's table immediately, adopted shm objects land in the
+  // global namespaces, and restored vnodes take hidden references. The guard
+  // rolls all of that back unless the restore runs to completion.
+  struct RestoreGuard {
+    Kernel* kernel;
+    std::vector<Process*> procs;
+    std::vector<const SharedMemory*> shms;
+    std::vector<Vnode*> vnode_refs;
+    bool armed = true;
+    ~RestoreGuard() {
+      if (!armed) {
+        return;
+      }
+      for (Process* p : procs) {
+        kernel->DestroyProcess(p);
+      }
+      for (const SharedMemory* s : shms) {
+        kernel->RemoveShm(s);
+      }
+      for (Vnode* v : vnode_refs) {
+        v->DropHiddenRef();
+      }
+    }
+  } guard{kernel};
+
   // --- Memory objects ----------------------------------------------------------
   std::unordered_map<uint64_t, uint64_t> memory_sizes;
   AURORA_ASSIGN_OR_RETURN(uint64_t nmem, r.U64());
@@ -546,6 +573,7 @@ Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* 
         vn->set_size(std::max(vn->size(), size));
         vn->set_nlink(nlink);
         vn->AddHiddenRef();
+        guard.vnode_refs.push_back(vn.get());
         sim->clock.Advance(sim->cost.small_alloc + 26 * sim->cost.cacheline_miss);
         obj = vn;
         break;
@@ -670,6 +698,7 @@ Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* 
           shm->object = rm.object;
         }
         kernel->AdoptShm(shm);
+        guard.shms.push_back(shm.get());
         sim->clock.Advance(sim->cost.small_alloc * 3 + 30 * sim->cost.cacheline_miss);
         if (shm->kind() == SharedMemory::Kind::kPosix) {
           // shm_open re-registers the name in the POSIX shm namespace.
@@ -754,6 +783,7 @@ Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* 
     AURORA_ASSIGN_OR_RETURN(uint64_t local_pid, r.U64());
     AURORA_ASSIGN_OR_RETURN(std::string name, r.String());
     AURORA_ASSIGN_OR_RETURN(Process * proc, kernel->CreateProcessForRestore(name, local_pid));
+    guard.procs.push_back(proc);
     AURORA_ASSIGN_OR_RETURN(proc->pgid, r.U64());
     AURORA_ASSIGN_OR_RETURN(proc->sid, r.U64());
     AURORA_ASSIGN_OR_RETURN(uint64_t parent_local, r.U64());
@@ -909,6 +939,7 @@ Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* 
       proc->PostSignal(kSigChld);
     }
   }
+  guard.armed = false;
   return out;
 }
 

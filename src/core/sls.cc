@@ -16,9 +16,41 @@ constexpr SimDuration kMemCkptHandoff = 72 * kMicrosecond;
 Sls::Sls(SimContext* sim, Kernel* kernel, ObjectStore* store, AuroraFs* fs)
     : sim_(sim), kernel_(kernel), store_(store), fs_(fs) {
   kernel_->set_rootfs(fs_);
+  store_backend_ = RegisterBackend(std::make_unique<StoreBackend>(sim_, store_, fs_));
 }
 
 Sls::~Sls() = default;
+
+CheckpointBackend* Sls::RegisterBackend(std::unique_ptr<CheckpointBackend> backend) {
+  backends_.push_back(std::move(backend));
+  return backends_.back().get();
+}
+
+CheckpointBackend* Sls::FindBackend(const std::string& name) {
+  for (auto& b : backends_) {
+    if (b->name() == name) {
+      return b.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Sls::SetBackend(ConsistencyGroup* group, const std::string& backend_name) {
+  CheckpointBackend* backend = FindBackend(backend_name);
+  if (backend == nullptr) {
+    return Status::Error(Errc::kNotFound, "no such backend: " + backend_name);
+  }
+  if (GroupBackend(group) == backend) {
+    return Status::Ok();
+  }
+  if (!group->pending_collapse.empty() || !group->unflushed_frozen.empty() ||
+      !group->persisted_oids.empty()) {
+    return Status::Error(Errc::kBadState,
+                         "group has checkpoint state; backends switch on fresh groups only");
+  }
+  group->backend = backend;
+  return Status::Ok();
+}
 
 Result<ConsistencyGroup*> Sls::CreateGroup(const std::string& name) {
   if (FindGroup(name) != nullptr) {
@@ -68,11 +100,11 @@ std::vector<ConsistencyGroup*> Sls::Groups() {
   return out;
 }
 
-Oid Sls::EnsureMemoryOid(VmObject* obj) {
+Oid Sls::EnsureMemoryOid(CheckpointBackend* backend, VmObject* obj) {
   if (obj->sls_oid() != 0) {
     return Oid{obj->sls_oid()};
   }
-  auto oid = store_->CreateObject(ObjType::kMemory, obj->size());
+  auto oid = backend->CreateMemoryObject(obj->size());
   if (!oid.ok()) {
     return kInvalidOid;
   }
@@ -89,25 +121,9 @@ std::vector<VmMap*> Sls::GroupMaps(ConsistencyGroup* group) {
   return maps;
 }
 
-namespace {
-// Backs a fully-durable bottom object with the store so dropped pages
-// stream back on demand — the paper's unified checkpoint/swap data path.
-// Only legal for parentless anonymous objects: a catch-all pager installed
-// mid-chain would shadow the links below it.
-void InstallStorePager(ObjectStore* store, VmObject* base) {
-  if (base->has_pager() || base->parent() != nullptr || base->sls_oid() == 0) {
-    return;
-  }
-  Oid oid{base->sls_oid()};
-  base->set_pager([store, oid](uint64_t pgidx, uint8_t* out) {
-    auto blocks = store->ReadAt(oid, pgidx * kPageSize, out, kPageSize);
-    return blocks.ok();
-  });
-}
-}  // namespace
-
 Result<Sls::EvictStats> Sls::EvictPages(ConsistencyGroup* group, uint64_t target_pages) {
   EvictStats stats;
+  CheckpointBackend* backend = GroupBackend(group);
   // Paging policy: madvise(DONTNEED) regions first, normal ones next, and
   // WILLNEED regions only under continued pressure (paper section 6).
   for (int pass_hint : {kMadvDontneed, kMadvNormal, kMadvWillneed}) {
@@ -129,7 +145,9 @@ Result<Sls::EvictStats> Sls::EvictPages(ConsistencyGroup* group, uint64_t target
           group->persisted_oids.count(base->sls_oid()) == 0 || base.get() == entry.object.get()) {
         continue;  // not durable yet, or it is the live top (dirty)
       }
-      InstallStorePager(store_, base.get());
+      if (!backend->InstallPager(base.get())) {
+        continue;  // backend cannot page this object; keep it resident
+      }
       uint64_t dropped = base->DropResidentPages();
       sim_->clock.Advance(sim_->cost.pte_protect * dropped);  // pagedaemon PTE work
       stats.clean_evicted += dropped;
@@ -142,35 +160,10 @@ Result<Sls::EvictStats> Sls::EvictPages(ConsistencyGroup* group, uint64_t target
   return stats;
 }
 
-Result<SimTime> Sls::FlushMemoryObject(Oid oid, VmObject* obj, uint64_t* pages,
-                                       uint64_t* bytes) {
-  // One run per resident page; the store batches runs per 64 KiB block so
-  // sparse dirty sets cost one COW block update per touched block, with
-  // asynchronous RMW reads — the flush overlaps application execution.
-  std::vector<ObjectStore::IoRun> runs;
-  runs.reserve(obj->pages().size());
-  for (const auto& [pgidx, frame] : obj->pages()) {
-    runs.push_back(
-        ObjectStore::IoRun{pgidx * kPageSize, frame->data.data(), kPageSize});
-    if (pages != nullptr) {
-      (*pages)++;
-    }
-    if (bytes != nullptr) {
-      *bytes += kPageSize;
-    }
-  }
-  if (runs.empty()) {
-    return sim_->clock.now();
-  }
-  AURORA_ASSIGN_OR_RETURN(SimTime done, store_->WriteAtBatch(oid, runs));
-  // The flusher walks the object with its lock held; COW faults copying
-  // from it contend (see VmObject::busy_until).
-  obj->set_busy_until(done);
-  return done;
-}
-
-Result<SimTime> Sls::FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* pages,
-                                            uint64_t* bytes) {
+Result<SimTime> Sls::FlushUnpersistedChains(CheckpointContext* ctx) {
+  ConsistencyGroup* group = ctx->group;
+  uint64_t* pages = &ctx->result.pages_flushed;
+  uint64_t* bytes = &ctx->result.bytes_flushed;
   SimTime done = sim_->clock.now();
   std::set<const VmObject*> visited;
   auto flush_chain = [&](const std::shared_ptr<VmObject>& top) -> Status {
@@ -185,7 +178,7 @@ Result<SimTime> Sls::FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* p
       if (!is_top && obj->sls_oid() != 0 &&
           group->persisted_oids.count(obj->sls_oid()) == 0) {
         Oid oid{obj->sls_oid()};
-        auto t = FlushMemoryObject(oid, obj.get(), pages, bytes);
+        auto t = ctx->backend->WriteObjectPages(oid, obj.get(), pages, bytes);
         if (!t.ok()) {
           return t.status();
         }
@@ -218,193 +211,236 @@ Result<SimTime> Sls::FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* p
   return done;
 }
 
-Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::string& name,
-                                         CheckpointMode mode) {
-  std::vector<VmMap*> maps = GroupMaps(group);
-  SpanTracer& tracer = sim_->tracer;
-  MetricsRegistry& metrics = sim_->metrics;
-  tracer.NewScope();
+// --- Checkpoint pipeline stages ---------------------------------------------
 
-  // Step 0: eagerly collapse the shadows flushed by the previous checkpoint
-  // (paper section 6: chains capped at two). After a collapse the in-memory
-  // snapshot for that region is the merged base.
-  size_t collapse_span = tracer.Begin("ckpt.collapse");
+void Sls::CkptCollapse(CheckpointContext* ctx) {
+  // Eagerly collapse the shadows flushed by the previous checkpoint (paper
+  // section 6: chains capped at two). After a collapse the in-memory
+  // snapshot for that region is the merged base. The flushed data was staged
+  // at flush time — only its durability may still lie in the future — so
+  // collapsing under an in-flight flush is safe.
+  ConsistencyGroup* group = ctx->group;
+  size_t collapse_span = sim_->tracer.Begin("ckpt.collapse");
   for (const ShadowPair& pair : group->pending_collapse) {
     uint64_t oid = pair.frozen->sls_oid();
-    if (CollapseAfterFlush(pair, maps, group->collapse_reversed, sim_)) {
+    if (CollapseAfterFlush(pair, ctx->maps, group->collapse_reversed, sim_)) {
       std::shared_ptr<VmObject> base = pair.live->parent_ref();
       snapshots_[group][oid] = base;
       if (group->evict_after_flush && base != nullptr && base->parent() == nullptr &&
-          group->persisted_oids.count(base->sls_oid()) > 0) {
-        // Memory overcommitment: the merged base equals the store's state at
-        // the flushed epoch, so its frames can be dropped and demand-paged
+          group->persisted_oids.count(base->sls_oid()) > 0 &&
+          ctx->backend->InstallPager(base.get())) {
+        // Memory overcommitment: the merged base equals the backend's state
+        // at the flushed epoch, so its frames can be dropped and demand-paged
         // back — swapping and checkpointing share one data path (paper 6).
-        InstallStorePager(store_, base.get());
         uint64_t dropped = base->DropResidentPages();
         sim_->clock.Advance(sim_->cost.pte_protect * dropped);
       }
     }
   }
   group->pending_collapse.clear();
-  tracer.End(collapse_span);
+  sim_->tracer.End(collapse_span);
+}
 
-  SimStopwatch stop(sim_->clock);
-
-  // Step 1: quiesce every thread at the kernel boundary.
-  CheckpointResult result;
-  size_t quiesce_span = tracer.Begin("ckpt.quiesce");
+void Sls::CkptQuiesce(CheckpointContext* ctx) {
+  // Quiesce every thread at the kernel boundary. Stop time starts here.
+  ctx->stop_begin = sim_->clock.now();
+  size_t quiesce_span = sim_->tracer.Begin("ckpt.quiesce");
   SimStopwatch quiesce_watch(sim_->clock);
-  kernel_->Quiesce(group->processes);
-  result.quiesce_time = quiesce_watch.Elapsed();
-  tracer.End(quiesce_span);
+  kernel_->Quiesce(ctx->group->processes);
+  ctx->result.quiesce_time = quiesce_watch.Elapsed();
+  sim_->tracer.End(quiesce_span);
+}
 
-  // Step 2: persist the file system namespace, then serialize the POSIX
-  // object graph exactly once per object.
-  size_t serialize_span = tracer.Begin("ckpt.serialize");
+Status Sls::CkptSerialize(CheckpointContext* ctx) {
+  // Persist the file system namespace, then serialize the POSIX object
+  // graph exactly once per object.
+  size_t serialize_span = sim_->tracer.Begin("ckpt.serialize");
   SimStopwatch serialize_watch(sim_->clock);
   Oid ns_oid = kInvalidOid;
-  if (mode == CheckpointMode::kFull) {
-    AURORA_ASSIGN_OR_RETURN(ns_oid, fs_->PersistNamespace());
+  if (ctx->mode == CheckpointMode::kFull) {
+    AURORA_ASSIGN_OR_RETURN(ns_oid, ctx->backend->PersistNamespace());
   }
-  auto ensure = [this](VmObject* obj) { return EnsureMemoryOid(obj); };
-  AURORA_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> manifest,
-      SerializeOsState(sim_, *group, store_->current_epoch(), ns_oid, ensure, &result.os_state));
-  result.os_serialize_time = serialize_watch.Elapsed();
-  tracer.End(serialize_span);
+  auto ensure = [this, ctx](VmObject* obj) { return EnsureMemoryOid(ctx->backend, obj); };
+  AURORA_ASSIGN_OR_RETURN(ctx->manifest,
+                          SerializeOsState(sim_, *ctx->group, ctx->backend->current_epoch(),
+                                           ns_oid, ensure, &ctx->result.os_state));
+  ctx->result.os_serialize_time = serialize_watch.Elapsed();
+  sim_->tracer.End(serialize_span);
+  return Status::Ok();
+}
 
-  // Step 3: system shadowing across the whole group.
-  size_t shadow_span = tracer.Begin("ckpt.shadow");
+void Sls::CkptShadow(CheckpointContext* ctx) {
+  // System shadowing across the whole group.
+  size_t shadow_span = sim_->tracer.Begin("ckpt.shadow");
   SimStopwatch shadow_watch(sim_->clock);
   SystemShadowStats shadow_stats;
-  std::vector<ShadowPair> pairs = CreateSystemShadows(
-      maps, sim_,
+  ctx->pairs = CreateSystemShadows(
+      ctx->maps, sim_,
       [this](VmObject* old_top, std::shared_ptr<VmObject> new_top) {
         kernel_->RebindShmObjects(old_top, new_top);
       },
       &shadow_stats);
-  for (const ShadowPair& pair : pairs) {
-    snapshots_[group][pair.frozen->sls_oid()] = pair.frozen;
+  for (const ShadowPair& pair : ctx->pairs) {
+    snapshots_[ctx->group][pair.frozen->sls_oid()] = pair.frozen;
   }
+  ctx->result.shadow_time = shadow_watch.Elapsed();
+  sim_->tracer.End(shadow_span);
+}
 
-  result.shadow_time = shadow_watch.Elapsed();
-  tracer.End(shadow_span);
-
-  // Step 4: resume; the application runs concurrently with the flush.
+void Sls::CkptResume(CheckpointContext* ctx) {
+  // Resume; the application runs concurrently with the flush.
+  ConsistencyGroup* group = ctx->group;
   kernel_->Resume(group->processes);
-  result.stop_time = stop.Elapsed();
-  group->stop_times.Record(result.stop_time);
+  ctx->result.stop_time = sim_->clock.now() - ctx->stop_begin;
+  group->stop_times.Record(ctx->result.stop_time);
   group->checkpoints_taken++;
-  last_manifest_blobs_[group] = manifest;
+  last_manifest_blobs_[group] = ctx->manifest;
 
-  metrics.counter("ckpt.checkpoints").Add();
-  metrics.histogram("ckpt.stop_time").Record(result.stop_time);
-  metrics.histogram("ckpt.quiesce").Record(result.quiesce_time);
-  metrics.histogram("ckpt.serialize").Record(result.os_serialize_time);
-  metrics.histogram("ckpt.shadow").Record(result.shadow_time);
+  sim_->metrics.counter("ckpt.checkpoints").Add();
+  sim_->metrics.histogram("ckpt.stop_time").Record(ctx->result.stop_time);
+  sim_->metrics.histogram("ckpt.quiesce").Record(ctx->result.quiesce_time);
+  sim_->metrics.histogram("ckpt.serialize").Record(ctx->result.os_serialize_time);
+  sim_->metrics.histogram("ckpt.shadow").Record(ctx->result.shadow_time);
+}
 
-  if (mode == CheckpointMode::kMemoryOnly) {
-    // Not durable: these frozen shadows hold pages the store has not seen.
-    // They stay un-collapsed until a full checkpoint flushes them.
-    for (ShadowPair& pair : pairs) {
-      group->unflushed_frozen.push_back(std::move(pair));
-    }
-    metrics.counter("ckpt.memory_only").Add();
-    result.durable_at = sim_->clock.now();
-    last_durable_[group] = result.durable_at;
-    return result;
+void Sls::CkptRetainInMemory(CheckpointContext* ctx) {
+  // Not durable: these frozen shadows hold pages the backend has not seen.
+  // They stay un-collapsed until a full checkpoint flushes them.
+  for (ShadowPair& pair : ctx->pairs) {
+    ctx->group->unflushed_frozen.push_back(std::move(pair));
   }
+  sim_->metrics.counter("ckpt.memory_only").Add();
+  ctx->result.durable_at = sim_->clock.now();
+  last_durable_[ctx->group] = ctx->result.durable_at;
+}
 
-  // Step 5: asynchronous flush. Frozen shadows stream their dirty pages into
-  // their region objects; chain links never persisted flush once. Shadows
-  // left behind by memory-only checkpoints flush first (oldest data).
-  size_t flush_span = tracer.Begin("ckpt.flush");
-  SimTime durable = sim_->clock.now();
+Status Sls::CkptAsyncFlush(CheckpointContext* ctx) {
+  // Frozen shadows stream their dirty pages into their region objects; chain
+  // links never persisted flush once. Shadows left behind by memory-only
+  // checkpoints flush first (oldest data).
+  ConsistencyGroup* group = ctx->group;
+  size_t flush_span = sim_->tracer.Begin("ckpt.flush");
+  ctx->durable = sim_->clock.now();
   for (const ShadowPair& pair : group->unflushed_frozen) {
     Oid oid{pair.frozen->sls_oid()};
     if (!oid.valid()) {
       continue;
     }
-    AURORA_ASSIGN_OR_RETURN(
-        SimTime t, FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed,
-                                     &result.bytes_flushed));
-    durable = std::max(durable, t);
+    AURORA_ASSIGN_OR_RETURN(SimTime t,
+                            ctx->backend->WriteObjectPages(oid, pair.frozen.get(),
+                                                           &ctx->result.pages_flushed,
+                                                           &ctx->result.bytes_flushed));
+    ctx->durable = std::max(ctx->durable, t);
     group->persisted_oids.insert(oid.value);
   }
-  for (const ShadowPair& pair : pairs) {
+  for (const ShadowPair& pair : ctx->pairs) {
     Oid oid{pair.frozen->sls_oid()};
     if (!oid.valid()) {
       continue;  // excluded region
     }
-    AURORA_ASSIGN_OR_RETURN(
-        SimTime t, FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed,
-                                     &result.bytes_flushed));
-    durable = std::max(durable, t);
+    AURORA_ASSIGN_OR_RETURN(SimTime t,
+                            ctx->backend->WriteObjectPages(oid, pair.frozen.get(),
+                                                           &ctx->result.pages_flushed,
+                                                           &ctx->result.bytes_flushed));
+    ctx->durable = std::max(ctx->durable, t);
     group->persisted_oids.insert(oid.value);
   }
-  AURORA_ASSIGN_OR_RETURN(
-      SimTime chains_done,
-      FlushUnpersistedChains(group, &result.pages_flushed, &result.bytes_flushed));
-  durable = std::max(durable, chains_done);
+  AURORA_ASSIGN_OR_RETURN(SimTime chains_done, FlushUnpersistedChains(ctx));
+  ctx->durable = std::max(ctx->durable, chains_done);
 
   // File system dirty data obeys checkpoint consistency: it flushes with the
   // checkpoint, which is why fsync can be a no-op.
-  AURORA_ASSIGN_OR_RETURN(SimTime fs_done, fs_->FlushAll());
-  durable = std::max(durable, fs_done);
+  AURORA_ASSIGN_OR_RETURN(SimTime fs_done, ctx->backend->FlushFilesystem());
+  ctx->durable = std::max(ctx->durable, fs_done);
   // The flush phase ends when its last asynchronous write lands, which is in
   // the simulated future relative to now (the application already resumed).
-  tracer.EndAt(flush_span, durable);
+  sim_->tracer.EndAt(flush_span, ctx->durable);
+  return Status::Ok();
+}
 
-  // Manifest object for this epoch; the previous one leaves the live table
-  // (it remains readable at its own epoch).
-  size_t commit_span = tracer.Begin("ckpt.commit");
-  AURORA_ASSIGN_OR_RETURN(Oid manifest_oid, store_->CreateObject(ObjType::kManifest));
-  AURORA_ASSIGN_OR_RETURN(SimTime manifest_done,
-                          store_->WriteAt(manifest_oid, 0, manifest.data(), manifest.size()));
-  durable = std::max(durable, manifest_done);
-  if (group->last_manifest.valid()) {
-    (void)store_->DeleteObject(group->last_manifest);
-  }
+Status Sls::CkptCommit(CheckpointContext* ctx) {
+  ConsistencyGroup* group = ctx->group;
+  size_t commit_span = sim_->tracer.Begin("ckpt.commit");
+  AURORA_ASSIGN_OR_RETURN(
+      CheckpointBackend::CommitInfo commit,
+      ctx->backend->CommitEpoch(ctx->name, ctx->manifest, group->last_manifest));
+  ctx->durable = std::max(ctx->durable, commit.durable_at);
+  sim_->tracer.EndAt(commit_span, commit.durable_at);
 
-  uint64_t committed_epoch = store_->current_epoch();
-  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint(name));
-  durable = std::max(durable, commit_done);
-  tracer.EndAt(commit_span, std::max(manifest_done, commit_done));
-
-  group->last_manifest = manifest_oid;
-  group->last_manifest_epoch = committed_epoch;
+  group->last_manifest = commit.manifest_oid;
+  group->last_manifest_epoch = commit.epoch;
   // Collapse order matters: oldest (deepest) shadows first.
   group->pending_collapse = std::move(group->unflushed_frozen);
   group->unflushed_frozen.clear();
-  for (ShadowPair& pair : pairs) {
+  for (ShadowPair& pair : ctx->pairs) {
     group->pending_collapse.push_back(std::move(pair));
   }
-  group->bytes_flushed_total += result.bytes_flushed;
-  result.epoch = committed_epoch;
-  result.durable_at = durable;
-  last_durable_[group] = durable;
+  group->bytes_flushed_total += ctx->result.bytes_flushed;
+  ctx->result.epoch = commit.epoch;
+  ctx->result.durable_at = ctx->durable;
+  last_durable_[group] = ctx->durable;
 
-  metrics.counter("ckpt.pages_flushed").Add(result.pages_flushed);
-  metrics.counter("ckpt.bytes_flushed").Add(result.bytes_flushed);
+  // Epoch-overlap bookkeeping for the periodic scheduler and benches.
+  SimTime now = sim_->clock.now();
+  auto& inflight = group->inflight_durable;
+  inflight.erase(std::remove_if(inflight.begin(), inflight.end(),
+                                [now](SimTime t) { return t <= now; }),
+                 inflight.end());
+  if (ctx->durable > now) {
+    inflight.push_back(ctx->durable);
+  }
+  group->ckpt_history.push_back({ctx->begin, ctx->durable, commit.epoch});
+
+  sim_->metrics.counter("ckpt.pages_flushed").Add(ctx->result.pages_flushed);
+  sim_->metrics.counter("ckpt.bytes_flushed").Add(ctx->result.bytes_flushed);
   // Wall time from resume until the checkpoint is fully durable: how long
   // held messages and the next periodic checkpoint wait on the device.
-  metrics.histogram("ckpt.durability_lag").Record(durable - sim_->clock.now());
+  sim_->metrics.histogram("ckpt.durability_lag").Record(ctx->durable - now);
+  return Status::Ok();
+}
 
+void Sls::CkptRelease(CheckpointContext* ctx) {
   // External synchrony: messages held since the previous checkpoint are
   // released once this one is durable.
-  size_t release_span = tracer.Begin("ckpt.release");
+  ConsistencyGroup* group = ctx->group;
+  size_t release_span = sim_->tracer.Begin("ckpt.release");
   if (!group->pending_sends.empty()) {
     auto sends = std::make_shared<std::vector<ConsistencyGroup::PendingSend>>(
         std::move(group->pending_sends));
     group->pending_sends.clear();
-    sim_->events.At(durable, [sends]() {
+    sim_->events.At(ctx->durable, [sends]() {
       for (auto& send : *sends) {
         (void)send.socket->Send(send.data.data(), send.data.size());
       }
     });
   }
-  tracer.EndAt(release_span, durable);
-  return result;
+  sim_->tracer.EndAt(release_span, ctx->durable);
+}
+
+Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::string& name,
+                                         CheckpointMode mode) {
+  CheckpointContext ctx;
+  ctx.group = group;
+  ctx.backend = GroupBackend(group);
+  ctx.name = name;
+  ctx.mode = mode;
+  ctx.maps = GroupMaps(group);
+  ctx.begin = sim_->clock.now();
+  sim_->tracer.NewScope();
+
+  CkptCollapse(&ctx);
+  CkptQuiesce(&ctx);
+  AURORA_RETURN_IF_ERROR(CkptSerialize(&ctx));
+  CkptShadow(&ctx);
+  CkptResume(&ctx);
+  if (mode == CheckpointMode::kMemoryOnly) {
+    CkptRetainInMemory(&ctx);
+    return ctx.result;
+  }
+  AURORA_RETURN_IF_ERROR(CkptAsyncFlush(&ctx));
+  AURORA_RETURN_IF_ERROR(CkptCommit(&ctx));
+  CkptRelease(&ctx);
+  return ctx.result;
 }
 
 void Sls::StartPeriodicCheckpoints(ConsistencyGroup* group) {
@@ -429,17 +465,25 @@ void Sls::ScheduleNextPeriodic(ConsistencyGroup* group, std::shared_ptr<bool> al
     if (!*alive || group->suspended || group->processes.empty()) {
       return;
     }
-    auto ckpt = Checkpoint(group);
-    if (ckpt.ok() && ckpt->durable_at > sim_->clock.now() + group->period) {
-      // The store must finish persisting a checkpoint before the next one
-      // starts (paper section 7); stretch the schedule to durability.
-      sim_->events.At(ckpt->durable_at, [this, group, alive]() {
+    // Backpressure: at most max_in_flight_epochs flushes outstanding (paper
+    // section 7 serializes on durability; limit 2 overlaps epoch N+1's
+    // serialization with epoch N's flush). Wait out the earliest flush when
+    // the window is full, then rearm the period.
+    SimTime now = sim_->clock.now();
+    auto& inflight = group->inflight_durable;
+    inflight.erase(std::remove_if(inflight.begin(), inflight.end(),
+                                  [now](SimTime t) { return t <= now; }),
+                   inflight.end());
+    if (inflight.size() >= group->max_in_flight_epochs) {
+      SimTime earliest = *std::min_element(inflight.begin(), inflight.end());
+      sim_->events.At(earliest, [this, group, alive]() {
         if (*alive) {
           ScheduleNextPeriodic(group, alive);
         }
       });
       return;
     }
+    (void)Checkpoint(group);
     ScheduleNextPeriodic(group, alive);
   });
 }
@@ -467,40 +511,7 @@ Result<uint64_t> Sls::SendExternal(ConsistencyGroup* group,
 
 Result<std::pair<uint64_t, Oid>> Sls::FindManifest(const std::string& group_name,
                                                    uint64_t epoch) {
-  std::vector<CheckpointInfo> ckpts = store_->ListCheckpoints();
-  std::sort(ckpts.begin(), ckpts.end(),
-            [](const CheckpointInfo& a, const CheckpointInfo& b) { return a.epoch > b.epoch; });
-  for (const CheckpointInfo& c : ckpts) {
-    if (epoch != 0 && c.epoch != epoch) {
-      continue;
-    }
-    auto oids = store_->ObjectsAtEpoch(c.epoch);
-    if (!oids.ok()) {
-      continue;
-    }
-    for (Oid oid : *oids) {
-      auto type = store_->TypeAtEpoch(c.epoch, oid);
-      if (!type.ok() || *type != ObjType::kManifest) {
-        continue;
-      }
-      auto size = store_->SizeAtEpoch(c.epoch, oid);
-      if (!size.ok()) {
-        continue;
-      }
-      std::vector<uint8_t> blob(*size);
-      if (!store_->ReadAtEpoch(c.epoch, oid, 0, blob.data(), blob.size()).ok()) {
-        continue;
-      }
-      auto head = PeekManifest(blob);
-      if (head.ok() && head->name == group_name) {
-        return std::make_pair(c.epoch, oid);
-      }
-    }
-    if (epoch != 0) {
-      break;
-    }
-  }
-  return Status::Error(Errc::kNotFound, "no checkpoint manifest for group " + group_name);
+  return FindManifestInStore(store_, group_name, epoch);
 }
 
 void Sls::WrapRestoredTops(ConsistencyGroup* group) {
@@ -517,38 +528,32 @@ void Sls::WrapRestoredTops(ConsistencyGroup* group) {
   (void)pairs;  // frozen bases are already persisted; nothing to flush
 }
 
-Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch,
-                                   RestoreMode mode) {
-  SimStopwatch watch(sim_->clock);
-  sim_->tracer.NewScope();
-  size_t restore_span = sim_->tracer.Begin("restore");
+// --- Restore pipeline stages ------------------------------------------------
 
-  std::vector<uint8_t> manifest;
-  uint64_t manifest_epoch = 0;
-  ConsistencyGroup* old_group = FindGroup(group_name);
-
-  if (mode == RestoreMode::kFromMemory) {
-    if (old_group == nullptr || last_manifest_blobs_.count(old_group) == 0) {
-      return Status::Error(Errc::kNotFound, "no in-memory checkpoint for " + group_name);
+Status Sls::RestoreLoadManifest(RestoreContext* ctx) {
+  if (ctx->mode == RestoreMode::kFromMemory) {
+    if (ctx->old_group == nullptr || last_manifest_blobs_.count(ctx->old_group) == 0) {
+      return Status::Error(Errc::kNotFound, "no in-memory checkpoint for " + ctx->group_name);
     }
-    manifest = last_manifest_blobs_[old_group];
-  } else {
-    AURORA_ASSIGN_OR_RETURN(auto found, FindManifest(group_name, epoch));
-    manifest_epoch = found.first;
-    AURORA_ASSIGN_OR_RETURN(uint64_t size, store_->SizeAtEpoch(manifest_epoch, found.second));
-    manifest.resize(size);
-    AURORA_RETURN_IF_ERROR(
-        store_->ReadAtEpoch(manifest_epoch, found.second, 0, manifest.data(), manifest.size()));
+    ctx->manifest = last_manifest_blobs_[ctx->old_group];
+    return Status::Ok();
   }
+  AURORA_ASSIGN_OR_RETURN(CheckpointBackend::LoadedManifest loaded,
+                          ctx->backend->LoadManifest(ctx->group_name, ctx->epoch));
+  ctx->manifest_epoch = loaded.epoch;
+  ctx->manifest = std::move(loaded.blob);
+  return Status::Ok();
+}
 
-  // Build the memory resolver for the selected mode.
-  MemoryResolverFn resolve;
-  std::map<uint64_t, std::shared_ptr<VmObject>> old_snapshots;
-  if (old_group != nullptr && snapshots_.count(old_group) > 0) {
-    old_snapshots = snapshots_[old_group];
-  }
-  if (mode == RestoreMode::kFromMemory) {
-    resolve = [&old_snapshots](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+Status Sls::RestoreBuildResolver(RestoreContext* ctx) {
+  if (ctx->mode == RestoreMode::kFromMemory) {
+    // Capture the snapshot map by value: the group's map is rebuilt below
+    // while the resolver is still in use.
+    std::map<uint64_t, std::shared_ptr<VmObject>> old_snapshots;
+    if (ctx->old_group != nullptr && snapshots_.count(ctx->old_group) > 0) {
+      old_snapshots = snapshots_[ctx->old_group];
+    }
+    ctx->resolve = [old_snapshots](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
       auto it = old_snapshots.find(oid.value);
       if (it == old_snapshots.end()) {
         // Region created after the last checkpoint: empty anonymous memory.
@@ -556,83 +561,68 @@ Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch
       }
       return ResolvedMemory{it->second, true};
     };
-  } else if (mode == RestoreMode::kFull) {
-    // Eager restore streams every object's blocks with pipelined reads; the
-    // caller advances to the stream's completion once at the end.
-    auto stream_done = std::make_shared<SimTime>(sim_->clock.now());
-    full_restore_done_ = stream_done;
-    resolve = [this, manifest_epoch, stream_done](Oid oid,
-                                                  uint64_t size) -> Result<ResolvedMemory> {
-      auto obj = VmObject::CreateAnonymous(size);
-      auto blocks = store_->BlocksAtEpoch(manifest_epoch, oid);
-      if (blocks.ok()) {
-        uint32_t bs = store_->block_size();
-        std::vector<uint8_t> buf(bs);
-        for (uint64_t block : *blocks) {
-          AURORA_RETURN_IF_ERROR(store_->ReadAtEpoch(manifest_epoch, oid, block * bs,
-                                                     buf.data(), bs, stream_done.get()));
-          for (uint64_t p = 0; p < bs / kPageSize; p++) {
-            obj->InstallPage(block * (bs / kPageSize) + p, buf.data() + p * kPageSize);
-          }
-        }
-      }
-      return ResolvedMemory{std::move(obj), false};
-    };
-  } else {  // kLazy
-    resolve = [this, manifest_epoch](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
-      auto obj = VmObject::CreateAnonymous(size);
-      auto blocks = store_->BlocksAtEpoch(manifest_epoch, oid);
-      auto present = std::make_shared<std::set<uint64_t>>();
-      if (blocks.ok()) {
-        present->insert(blocks->begin(), blocks->end());
-      }
-      ObjectStore* store = store_;
-      uint32_t bs = store_->block_size();
-      obj->set_pager([store, manifest_epoch, oid, present, bs](uint64_t pgidx, uint8_t* out) {
-        uint64_t block = pgidx * kPageSize / bs;
-        if (present->count(block) == 0) {
-          return false;
-        }
-        return store->ReadAtEpoch(manifest_epoch, oid, pgidx * kPageSize, out, kPageSize).ok();
-      });
-      return ResolvedMemory{std::move(obj), false};
-    };
+    return Status::Ok();
   }
+  std::shared_ptr<SimTime> stream_done;
+  if (ctx->mode == RestoreMode::kFull) {
+    stream_done = std::make_shared<SimTime>(sim_->clock.now());
+    full_restore_done_ = stream_done;
+  }
+  AURORA_ASSIGN_OR_RETURN(
+      ctx->resolve, ctx->backend->MakeResolver(ctx->manifest_epoch, ctx->mode, stream_done));
+  return Status::Ok();
+}
 
+void Sls::RestoreTeardownOld(RestoreContext* ctx) {
   // Tear down the previous incarnation (rollback semantics).
-  if (old_group != nullptr) {
-    for (Process* proc : old_group->processes) {
+  if (ctx->old_group != nullptr) {
+    for (Process* proc : ctx->old_group->processes) {
       kernel_->DestroyProcess(proc);
     }
-    old_group->processes.clear();
+    ctx->old_group->processes.clear();
   }
+}
 
+Status Sls::RestoreNamespaceStage(RestoreContext* ctx) {
   // Namespace first so vnode lookups by inode succeed.
-  if (mode != RestoreMode::kFromMemory) {
-    auto head = PeekManifest(manifest);
-    if (head.ok() && head->namespace_oid.valid()) {
-      AURORA_RETURN_IF_ERROR(fs_->RestoreNamespace(manifest_epoch, head->namespace_oid));
-    }
+  if (ctx->mode == RestoreMode::kFromMemory) {
+    return Status::Ok();
   }
+  auto head = PeekManifest(ctx->manifest);
+  if (head.ok() && head->namespace_oid.valid()) {
+    AURORA_RETURN_IF_ERROR(
+        ctx->backend->RestoreNamespace(ctx->manifest_epoch, head->namespace_oid));
+  }
+  return Status::Ok();
+}
 
-  AURORA_ASSIGN_OR_RETURN(RestoredGroup restored,
-                          RestoreOsState(sim_, kernel_, fs_, manifest, resolve));
+Status Sls::RestoreMaterialize(RestoreContext* ctx) {
+  AURORA_ASSIGN_OR_RETURN(ctx->restored,
+                          RestoreOsState(sim_, kernel_, fs_, ctx->manifest, ctx->resolve));
+  return Status::Ok();
+}
 
-  ConsistencyGroup* group = old_group;
+Status Sls::RestoreRebindGroup(RestoreContext* ctx) {
+  ConsistencyGroup* group = ctx->old_group;
   if (group == nullptr) {
-    AURORA_ASSIGN_OR_RETURN(group, CreateGroup(group_name));
+    AURORA_ASSIGN_OR_RETURN(group, CreateGroup(ctx->group_name));
   }
-  group->processes = restored.processes;
+  group->processes = ctx->restored.processes;
   group->suspended = false;
   group->pending_collapse.clear();
   group->unflushed_frozen.clear();
   group->pending_sends.clear();
+  group->inflight_durable.clear();
+  if (ctx->mode != RestoreMode::kFromMemory && ctx->backend != store_backend_) {
+    // Future checkpoints continue into the backend we restored from.
+    group->backend = ctx->backend;
+  }
 
   // Every region named by the manifest is durable at this epoch (or, for
   // memory restores, lives in the retained snapshot objects).
   group->persisted_oids.clear();
   auto& snapshot_map = snapshots_[group];
-  if (mode != RestoreMode::kFromMemory) {
+  if (ctx->mode != RestoreMode::kFromMemory) {
     snapshot_map.clear();
   }
   WrapRestoredTops(group);
@@ -650,21 +640,45 @@ Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch
       }
     }
   }
-  last_manifest_blobs_[group] = manifest;
+  last_manifest_blobs_[group] = ctx->manifest;
+
+  ctx->result.group = group;
+  ctx->result.epoch =
+      ctx->mode == RestoreMode::kFromMemory ? ctx->restored.epoch : ctx->manifest_epoch;
+  return Status::Ok();
+}
+
+Result<RestoreResult> Sls::Restore(const std::string& group_name, uint64_t epoch,
+                                   RestoreMode mode, CheckpointBackend* backend) {
+  SimStopwatch watch(sim_->clock);
+  sim_->tracer.NewScope();
+  size_t restore_span = sim_->tracer.Begin("restore");
+
+  RestoreContext ctx;
+  ctx.group_name = group_name;
+  ctx.epoch = epoch;
+  ctx.mode = mode;
+  ctx.backend = backend != nullptr ? backend : store_backend_;
+  ctx.old_group = FindGroup(group_name);
+
+  // Load + resolver-build run before teardown: early failures (missing
+  // manifest, bad epoch) leave the running application untouched.
+  AURORA_RETURN_IF_ERROR(RestoreLoadManifest(&ctx));
+  AURORA_RETURN_IF_ERROR(RestoreBuildResolver(&ctx));
+  RestoreTeardownOld(&ctx);
+  AURORA_RETURN_IF_ERROR(RestoreNamespaceStage(&ctx));
+  AURORA_RETURN_IF_ERROR(RestoreMaterialize(&ctx));
+  AURORA_RETURN_IF_ERROR(RestoreRebindGroup(&ctx));
 
   if (mode == RestoreMode::kFull && full_restore_done_ != nullptr) {
     sim_->clock.AdvanceTo(*full_restore_done_);
     full_restore_done_.reset();
   }
-
-  RestoreResult result;
-  result.group = group;
-  result.epoch = mode == RestoreMode::kFromMemory ? restored.epoch : manifest_epoch;
-  result.restore_time = watch.Elapsed();
+  ctx.result.restore_time = watch.Elapsed();
   sim_->tracer.End(restore_span);
   sim_->metrics.counter("restore.restores").Add();
-  sim_->metrics.histogram("restore.time").Record(result.restore_time);
-  return result;
+  sim_->metrics.histogram("restore.time").Record(ctx.result.restore_time);
+  return ctx.result;
 }
 
 Result<CheckpointResult> Sls::Suspend(ConsistencyGroup* group) {
@@ -703,12 +717,13 @@ Result<CheckpointResult> Sls::MemCheckpoint(Process* proc, uint64_t addr) {
   if (group == nullptr) {
     return Status::Error(Errc::kBadState, "process not in a consistency group");
   }
+  CheckpointBackend* backend = GroupBackend(group);
 
   SimStopwatch watch(sim_->clock);
   sim_->clock.Advance(kMemCkptHandoff);
 
   std::vector<VmMap*> maps = GroupMaps(group);
-  Oid oid = EnsureMemoryOid(entry->object.get());
+  Oid oid = EnsureMemoryOid(backend, entry->object.get());
   // Copy the shared_ptr: rebinding replaces entry->object itself.
   std::shared_ptr<VmObject> region = entry->object;
   ShadowPair pair = ShadowOneObject(
@@ -721,17 +736,18 @@ Result<CheckpointResult> Sls::MemCheckpoint(Process* proc, uint64_t addr) {
   CheckpointResult result;
   result.stop_time = watch.Elapsed();
 
-  // Asynchronous flush of the shadowed region, then a store commit so the
-  // atomic checkpoint is independently durable and composes with the most
-  // recent full checkpoint at restore.
+  // Asynchronous flush of the shadowed region, then a manifest-less backend
+  // commit so the atomic checkpoint is independently durable and composes
+  // with the most recent full checkpoint at restore.
   AURORA_ASSIGN_OR_RETURN(
       SimTime flushed,
-      FlushMemoryObject(oid, pair.frozen.get(), &result.pages_flushed, &result.bytes_flushed));
+      backend->WriteObjectPages(oid, pair.frozen.get(), &result.pages_flushed,
+                                &result.bytes_flushed));
   group->persisted_oids.insert(oid.value);
-  uint64_t committed_epoch = store_->current_epoch();
-  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint("memckpt"));
-  result.epoch = committed_epoch;
-  result.durable_at = std::max(flushed, commit_done);
+  AURORA_ASSIGN_OR_RETURN(CheckpointBackend::CommitInfo commit,
+                          backend->CommitEpoch("memckpt", {}, kInvalidOid));
+  result.epoch = commit.epoch;
+  result.durable_at = std::max(flushed, commit.durable_at);
   last_durable_[group] = std::max(last_durable_[group], result.durable_at);
   group->pending_collapse.push_back(pair);
   sim_->metrics.counter("ckpt.memckpts").Add();

@@ -1,14 +1,16 @@
 // The Aurora single level store: orchestrator and application API.
 //
 // The Sls ties the simulated kernel, the object store and AuroraFS together
-// and implements the paper's checkpoint pipeline:
+// and implements the paper's checkpoint pipeline as explicit stages:
 //
 //   collapse previous shadows -> quiesce -> serialize POSIX objects (each
 //   exactly once) -> system shadow -> resume -> asynchronous flush ->
-//   store commit -> release externally-synchronized messages.
+//   backend commit -> release externally-synchronized messages.
 //
 // Stop time covers quiesce through resume; everything after overlaps
-// application execution.
+// application execution. The flush/commit half talks to a pluggable
+// CheckpointBackend (store, memory, net), so local checkpoints, the
+// memory-backend ablation and remote checkpoints share one engine.
 #ifndef SRC_CORE_SLS_H_
 #define SRC_CORE_SLS_H_
 
@@ -19,6 +21,7 @@
 
 #include "src/base/result.h"
 #include "src/base/sim_context.h"
+#include "src/core/backend.h"
 #include "src/core/consistency_group.h"
 #include "src/core/serialize.h"
 #include "src/fs/aurora_fs.h"
@@ -27,19 +30,8 @@
 
 namespace aurora {
 
-enum class CheckpointMode {
-  kFull,        // serialize + shadow + flush to the store + commit
-  kMemoryOnly,  // serialize + shadow only; snapshot stays in memory
-};
-
-enum class RestoreMode {
-  kFull,        // materialize all pages from the store eagerly
-  kLazy,        // restore OS state only; pages fault in on demand
-  kFromMemory,  // rollback to the in-memory snapshot (no device reads)
-};
-
 struct CheckpointResult {
-  uint64_t epoch = 0;          // store epoch this checkpoint committed as
+  uint64_t epoch = 0;          // backend epoch this checkpoint committed as
   SimDuration stop_time = 0;   // application pause
   SimDuration quiesce_time = 0;
   SimDuration os_serialize_time = 0;  // Table 7's "OS state" row
@@ -56,6 +48,35 @@ struct RestoreResult {
   SimDuration restore_time = 0;
 };
 
+// State threaded through the checkpoint pipeline stages.
+struct CheckpointContext {
+  ConsistencyGroup* group = nullptr;
+  CheckpointBackend* backend = nullptr;
+  std::string name;
+  CheckpointMode mode = CheckpointMode::kFull;
+  std::vector<VmMap*> maps;
+  std::vector<uint8_t> manifest;
+  std::vector<ShadowPair> pairs;  // shadows frozen by this checkpoint
+  SimTime begin = 0;              // pipeline entry (epoch-overlap bookkeeping)
+  SimTime stop_begin = 0;         // quiesce start; stop = resume - stop_begin
+  SimTime durable = 0;            // folds each stage's completion time
+  CheckpointResult result;
+};
+
+// State threaded through the restore pipeline stages.
+struct RestoreContext {
+  std::string group_name;
+  uint64_t epoch = 0;
+  RestoreMode mode = RestoreMode::kFull;
+  CheckpointBackend* backend = nullptr;
+  ConsistencyGroup* old_group = nullptr;
+  std::vector<uint8_t> manifest;
+  uint64_t manifest_epoch = 0;
+  MemoryResolverFn resolve;
+  RestoredGroup restored;
+  RestoreResult result;
+};
+
 class Sls {
  public:
   Sls(SimContext* sim, Kernel* kernel, ObjectStore* store, AuroraFs* fs);
@@ -68,20 +89,34 @@ class Sls {
   Status Detach(Process* proc);  // makes the process ephemeral-like: leaves the group
   std::vector<ConsistencyGroup*> Groups();
 
-  // --- Checkpoint / restore --------------------------------------------------
+  // --- Checkpoint backends -------------------------------------------------
+  // Registers a backend under backend->name(); returns the raw pointer for
+  // convenience. The "store" backend is registered by the constructor.
+  CheckpointBackend* RegisterBackend(std::unique_ptr<CheckpointBackend> backend);
+  CheckpointBackend* FindBackend(const std::string& name);
+  CheckpointBackend* store_backend() { return store_backend_; }
+  // Routes the group's checkpoints through `backend_name`. Only legal while
+  // the group has no checkpoint state (fresh or just restored through the
+  // same backend) — mixing destinations mid-chain would strand pages.
+  Status SetBackend(ConsistencyGroup* group, const std::string& backend_name);
+
+  // --- Checkpoint / restore ------------------------------------------------
   Result<CheckpointResult> Checkpoint(ConsistencyGroup* group, const std::string& name = "",
                                       CheckpointMode mode = CheckpointMode::kFull);
 
   // Drives the group's periodic transparent persistence (the default 100x
   // per second) on the simulation's event queue: a checkpoint fires every
-  // `group->period`, never before the previous flush completed, until
+  // `group->period`, with at most `group->max_in_flight_epochs` flushes in
+  // flight (1 = never before the previous flush completed), until
   // StopPeriodicCheckpoints (or process teardown). This is what `sls attach`
   // arms in the paper.
   void StartPeriodicCheckpoints(ConsistencyGroup* group);
   void StopPeriodicCheckpoints(ConsistencyGroup* group);
-  // epoch 0 = newest checkpoint with a manifest for this group.
+  // epoch 0 = newest checkpoint with a manifest for this group. `backend`
+  // selects the restore source; null = the store backend.
   Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
-                                RestoreMode mode = RestoreMode::kFull);
+                                RestoreMode mode = RestoreMode::kFull,
+                                CheckpointBackend* backend = nullptr);
 
   // sls suspend / resume: checkpoint, then tear the processes down; restore
   // later (possibly after reboot).
@@ -89,7 +124,7 @@ class Sls {
   Result<RestoreResult> ResumeSuspended(const std::string& group_name,
                                         RestoreMode mode = RestoreMode::kFull);
 
-  // --- Aurora API (Table 3) ----------------------------------------------------
+  // --- Aurora API (Table 3) ------------------------------------------------
   // sls_memckpt: atomic asynchronous checkpoint of the region containing
   // `addr`, without whole-application serialization.
   Result<CheckpointResult> MemCheckpoint(Process* proc, uint64_t addr);
@@ -107,9 +142,9 @@ class Sls {
 
   // --- Memory overcommitment (paper section 6) -----------------------------
   // Evicts up to `target_pages` resident pages whose contents are already
-  // durable in the store (clean pages first, per the paging policy). The
-  // evicted objects get store-backed pagers, so later faults stream the
-  // pages back in — the swap path and the checkpoint path are one.
+  // durable in the backend (clean pages first, per the paging policy). The
+  // evicted objects get backend pagers, so later faults stream the pages
+  // back in — the swap path and the checkpoint path are one.
   struct EvictStats {
     uint64_t clean_evicted = 0;
     uint64_t objects_paged = 0;
@@ -121,13 +156,13 @@ class Sls {
     group->evict_after_flush = enabled;
   }
 
-  // --- External synchrony -------------------------------------------------------
+  // --- External synchrony --------------------------------------------------
   // Sends on group-external sockets buffer here until the covering
   // checkpoint commits (unless disabled for the socket or the group).
   Result<uint64_t> SendExternal(ConsistencyGroup* group, const std::shared_ptr<Socket>& socket,
                                 const void* data, uint64_t len);
 
-  // --- Introspection ---------------------------------------------------------------
+  // --- Introspection -------------------------------------------------------
   // Locates the manifest for `group_name` at `epoch` (0 = latest).
   Result<std::pair<uint64_t, Oid>> FindManifest(const std::string& group_name, uint64_t epoch);
   std::vector<CheckpointInfo> ListCheckpoints() const { return store_->ListCheckpoints(); }
@@ -138,12 +173,34 @@ class Sls {
   AuroraFs* fs() { return fs_; }
 
  private:
-  Oid EnsureMemoryOid(VmObject* obj);
+  // Checkpoint pipeline stages, in order. Each takes the shared context;
+  // fallible stages return Status and abort the pipeline.
+  void CkptCollapse(CheckpointContext* ctx);
+  void CkptQuiesce(CheckpointContext* ctx);
+  Status CkptSerialize(CheckpointContext* ctx);
+  void CkptShadow(CheckpointContext* ctx);
+  void CkptResume(CheckpointContext* ctx);
+  void CkptRetainInMemory(CheckpointContext* ctx);  // kMemoryOnly epilogue
+  Status CkptAsyncFlush(CheckpointContext* ctx);
+  Status CkptCommit(CheckpointContext* ctx);
+  void CkptRelease(CheckpointContext* ctx);
+
+  // Restore pipeline stages, in order. Fallible stages run before teardown
+  // where possible so early failures leave the old incarnation untouched.
+  Status RestoreLoadManifest(RestoreContext* ctx);
+  Status RestoreBuildResolver(RestoreContext* ctx);
+  void RestoreTeardownOld(RestoreContext* ctx);
+  Status RestoreNamespaceStage(RestoreContext* ctx);
+  Status RestoreMaterialize(RestoreContext* ctx);
+  Status RestoreRebindGroup(RestoreContext* ctx);
+
+  CheckpointBackend* GroupBackend(ConsistencyGroup* group) {
+    return group->backend != nullptr ? group->backend : store_backend_;
+  }
+  Oid EnsureMemoryOid(CheckpointBackend* backend, VmObject* obj);
   std::vector<VmMap*> GroupMaps(ConsistencyGroup* group);
-  Result<SimTime> FlushMemoryObject(Oid oid, VmObject* obj, uint64_t* pages, uint64_t* bytes);
   // Walks entry + shm chains, flushing never-persisted lower links.
-  Result<SimTime> FlushUnpersistedChains(ConsistencyGroup* group, uint64_t* pages,
-                                         uint64_t* bytes);
+  Result<SimTime> FlushUnpersistedChains(CheckpointContext* ctx);
   void ReleasePendingSends(ConsistencyGroup* group);
   // Wraps every restored top object in a live shadow so the next checkpoint
   // is incremental rather than a full rewrite.
@@ -153,6 +210,9 @@ class Sls {
   Kernel* kernel_;
   ObjectStore* store_;
   AuroraFs* fs_;
+
+  std::vector<std::unique_ptr<CheckpointBackend>> backends_;
+  CheckpointBackend* store_backend_ = nullptr;
 
   uint64_t next_group_id_ = 1;
   std::vector<std::unique_ptr<ConsistencyGroup>> groups_;

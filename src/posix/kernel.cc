@@ -443,6 +443,20 @@ void Kernel::AdoptShm(const std::shared_ptr<SharedMemory>& shm) {
   }
 }
 
+void Kernel::RemoveShm(const SharedMemory* shm) {
+  if (shm->kind() == SharedMemory::Kind::kPosix) {
+    auto it = posix_shm_.find(shm->name);
+    if (it != posix_shm_.end() && it->second.get() == shm) {
+      posix_shm_.erase(it);
+    }
+  } else {
+    auto it = sysv_shm_.find(shm->shmid);
+    if (it != sysv_shm_.end() && it->second.get() == shm) {
+      sysv_shm_.erase(it);
+    }
+  }
+}
+
 void Kernel::RebindShmObjects(VmObject* old_top, const std::shared_ptr<VmObject>& new_top) {
   for (auto& [name, shm] : posix_shm_) {
     if (shm->object.get() == old_top) {

@@ -98,6 +98,9 @@ class Kernel {
   // Restore path: inserts a deserialized shm object into the proper global
   // namespace so later shadows and shmat calls find it.
   void AdoptShm(const std::shared_ptr<SharedMemory>& shm);
+  // Rolls back an AdoptShm when a restore fails mid-flight. Only removes the
+  // namespace entry if it still points at `shm`.
+  void RemoveShm(const SharedMemory* shm);
 
   const std::map<std::string, std::shared_ptr<SharedMemory>>& posix_shm() const {
     return posix_shm_;

@@ -44,21 +44,25 @@ uint64_t RebindEntries(VmObject* old_top, const std::shared_ptr<VmObject>& new_t
 std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, SimContext* sim,
                                             const ShadowRebindFn& rebind,
                                             SystemShadowStats* stats) {
-  // Pass 1: collect the distinct writable top objects across the group.
-  // Using a set keyed by object pointer makes each object shadowed exactly
-  // once no matter how many processes or entries share it.
-  std::map<VmObject*, std::shared_ptr<VmObject>> tops;
+  // Pass 1: collect the distinct writable top objects across the group in
+  // discovery order (map, then ascending start address). The dedup set makes
+  // each object shadowed exactly once no matter how many processes or
+  // entries share it; the ordered vector keeps the shadow/flush order
+  // independent of heap layout, so simulated results are build-stable.
+  std::set<VmObject*> seen;
+  std::vector<std::shared_ptr<VmObject>> tops;
   for (VmMap* map : maps) {
     for (auto& [start, entry] : map->entries()) {
-      if (ShouldShadow(entry)) {
-        tops.emplace(entry.object.get(), entry.object);
+      if (ShouldShadow(entry) && seen.insert(entry.object.get()).second) {
+        tops.push_back(entry.object);
       }
     }
   }
 
   std::vector<ShadowPair> pairs;
   pairs.reserve(tops.size());
-  for (auto& [raw, top] : tops) {
+  for (const std::shared_ptr<VmObject>& top : tops) {
+    VmObject* raw = top.get();
     auto shadow = VmObject::CreateShadow(top);
     shadow->set_sls_oid(top->sls_oid());  // same logical region on disk
     top->Freeze();

@@ -1,0 +1,226 @@
+// Restore error paths: a failure at any pipeline stage must not leak
+// half-built processes, shm namespace entries or vnode references into the
+// kernel, and a subsequent clean restore must still work.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/sim_context.h"
+#include "src/core/backend.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+namespace {
+
+struct Machine {
+  explicit Machine(uint64_t store_bytes = 1 * kGiB) {
+    device = MakePaperTestbedStore(&sim.clock, store_bytes);
+    store = *ObjectStore::Format(device.get(), &sim);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  SimContext sim;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<AuroraFs> fs;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Sls> sls;
+};
+
+// Delegates to the real store backend but fails on command, one knob per
+// restore pipeline stage.
+class FailingBackend : public CheckpointBackend {
+ public:
+  explicit FailingBackend(CheckpointBackend* inner) : inner_(inner) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t current_epoch() const override { return inner_->current_epoch(); }
+  Result<Oid> CreateMemoryObject(uint64_t size_hint) override {
+    return inner_->CreateMemoryObject(size_hint);
+  }
+  Result<Oid> PersistNamespace() override { return inner_->PersistNamespace(); }
+  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                   uint64_t* bytes) override {
+    return inner_->WriteObjectPages(oid, obj, pages, bytes);
+  }
+  Result<SimTime> FlushFilesystem() override { return inner_->FlushFilesystem(); }
+  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                 const std::vector<uint8_t>& manifest,
+                                 Oid replaces_manifest) override {
+    return inner_->CommitEpoch(ckpt_name, manifest, replaces_manifest);
+  }
+  Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                      uint64_t epoch) override {
+    if (fail_load_manifest) {
+      return Status::Error(Errc::kCorrupt, "injected: manifest unreadable");
+    }
+    AURORA_ASSIGN_OR_RETURN(LoadedManifest loaded, inner_->LoadManifest(group_name, epoch));
+    if (truncate_manifest_to < loaded.blob.size()) {
+      loaded.blob.resize(truncate_manifest_to);
+    }
+    return loaded;
+  }
+  Status RestoreNamespace(uint64_t epoch, Oid ns_oid) override {
+    if (fail_restore_namespace) {
+      return Status::Error(Errc::kCorrupt, "injected: namespace unreadable");
+    }
+    return inner_->RestoreNamespace(epoch, ns_oid);
+  }
+  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
+                                        std::shared_ptr<SimTime> stream_done) override {
+    AURORA_ASSIGN_OR_RETURN(MemoryResolverFn inner, inner_->MakeResolver(epoch, mode, stream_done));
+    uint64_t fail_at = fail_resolve_at;
+    auto calls = std::make_shared<uint64_t>(0);
+    return MemoryResolverFn(
+        [inner, fail_at, calls](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+          if (fail_at != 0 && ++*calls == fail_at) {
+            return Status::Error(Errc::kCorrupt, "injected: object unreadable");
+          }
+          return inner(oid, size);
+        });
+  }
+  bool InstallPager(VmObject* base) override { return inner_->InstallPager(base); }
+
+  bool fail_load_manifest = false;
+  bool fail_restore_namespace = false;
+  uint64_t truncate_manifest_to = UINT64_MAX;
+  uint64_t fail_resolve_at = 0;  // 1-based resolver call index; 0 = never
+
+ private:
+  CheckpointBackend* inner_;
+  std::string name_ = "failing";
+};
+
+// Two-region app with a named file so the manifest carries a namespace oid,
+// memory objects and vnode references — every rollback path has something
+// to roll back. Returns the failing backend (owned by the Sls).
+FailingBackend* SetUpCheckpointedApp(Machine& m, uint64_t* addr_out,
+                                     std::vector<uint8_t>* pattern_out) {
+  auto* failing = static_cast<FailingBackend*>(m.sls->RegisterBackend(
+      std::make_unique<FailingBackend>(m.sls->store_backend())));
+
+  constexpr uint64_t kMem = 256 * kKiB;
+  Process* proc = *m.kernel->CreateProcess("app");
+  auto obj = VmObject::CreateAnonymous(kMem);
+  uint64_t addr = *proc->vm().Map(0x400000, kMem, kProtRead | kProtWrite, obj, 0, false);
+  auto obj2 = VmObject::CreateAnonymous(kMem);
+  (void)*proc->vm().Map(0x900000, kMem, kProtRead | kProtWrite, obj2, 0, false);
+
+  std::vector<uint8_t> pattern(kMem);
+  for (uint64_t i = 0; i < kMem; i++) {
+    pattern[i] = static_cast<uint8_t>(i * 13 + 7);
+  }
+  EXPECT_TRUE(proc->vm().Write(addr, pattern.data(), pattern.size()).ok());
+
+  int fd = *m.kernel->Open(*proc, "state.db", kOpenRead | kOpenWrite, true);
+  EXPECT_TRUE(m.kernel->WriteFd(*proc, fd, "persist me", 10).ok());
+
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  EXPECT_TRUE(m.sls->Attach(group, proc).ok());
+  EXPECT_TRUE(m.sls->Checkpoint(group, "good").ok());
+
+  *addr_out = addr;
+  *pattern_out = std::move(pattern);
+  return failing;
+}
+
+void ExpectCleanRestoreWorks(Machine& m, uint64_t addr, const std::vector<uint8_t>& pattern) {
+  auto restored = m.sls->Restore("app");
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  ASSERT_EQ(restored->group->processes.size(), 1u);
+  std::vector<uint8_t> got(pattern.size());
+  ASSERT_TRUE(restored->group->processes[0]->vm().Read(addr, got.data(), got.size()).ok());
+  EXPECT_EQ(got, pattern);
+}
+
+TEST(RestoreFault, FailedManifestLoadLeavesOldIncarnationRunning) {
+  Machine m;
+  uint64_t addr = 0;
+  std::vector<uint8_t> pattern;
+  FailingBackend* failing = SetUpCheckpointedApp(m, &addr, &pattern);
+
+  failing->fail_load_manifest = true;
+  auto res = m.sls->Restore("app", 0, RestoreMode::kFull, failing);
+  EXPECT_FALSE(res.ok());
+  // The failure hit before teardown: the old incarnation must be untouched.
+  ConsistencyGroup* group = m.sls->FindGroup("app");
+  ASSERT_NE(group, nullptr);
+  ASSERT_EQ(group->processes.size(), 1u);
+  EXPECT_EQ(m.kernel->AllProcesses().size(), 1u);
+  std::vector<uint8_t> got(pattern.size());
+  ASSERT_TRUE(group->processes[0]->vm().Read(addr, got.data(), got.size()).ok());
+  EXPECT_EQ(got, pattern);
+}
+
+TEST(RestoreFault, FailedNamespaceRestoreLeaksNothing) {
+  Machine m;
+  uint64_t addr = 0;
+  std::vector<uint8_t> pattern;
+  FailingBackend* failing = SetUpCheckpointedApp(m, &addr, &pattern);
+
+  failing->fail_restore_namespace = true;
+  auto res = m.sls->Restore("app", 0, RestoreMode::kFull, failing);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(m.kernel->AllProcesses().empty()) << "no half-built processes may survive";
+
+  failing->fail_restore_namespace = false;
+  ExpectCleanRestoreWorks(m, addr, pattern);
+}
+
+TEST(RestoreFault, ResolverFaultMidMaterializeRollsBackProcesses) {
+  Machine m;
+  uint64_t addr = 0;
+  std::vector<uint8_t> pattern;
+  FailingBackend* failing = SetUpCheckpointedApp(m, &addr, &pattern);
+
+  failing->fail_resolve_at = 2;  // fail after the first region resolved
+  auto res = m.sls->Restore("app", 0, RestoreMode::kFull, failing);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(m.kernel->AllProcesses().empty())
+      << "partially materialized processes must be torn down";
+  EXPECT_TRUE(m.kernel->posix_shm().empty());
+  EXPECT_TRUE(m.kernel->sysv_shm().empty());
+
+  failing->fail_resolve_at = 0;
+  ExpectCleanRestoreWorks(m, addr, pattern);
+}
+
+TEST(RestoreFault, TruncatedManifestSweepNeverLeaks) {
+  Machine m;
+  uint64_t addr = 0;
+  std::vector<uint8_t> pattern;
+  FailingBackend* failing = SetUpCheckpointedApp(m, &addr, &pattern);
+
+  auto loaded = m.sls->store_backend()->LoadManifest("app", 0);
+  ASSERT_TRUE(loaded.ok());
+  uint64_t full = loaded->blob.size();
+
+  // Cut the manifest at many offsets: whatever stage the parse dies in, the
+  // kernel must come back empty (the previous incarnation is already gone
+  // after the first teardown — rollback means "no stragglers", not revival).
+  for (uint64_t len = 0; len < full; len += 97) {
+    failing->truncate_manifest_to = len;
+    auto res = m.sls->Restore("app", 0, RestoreMode::kFull, failing);
+    if (res.ok()) {
+      // A prefix that still parses completely is fine — but then it must be
+      // a full, healthy restore.
+      ASSERT_EQ(m.kernel->AllProcesses().size(), 1u) << "len=" << len;
+      continue;
+    }
+    EXPECT_TRUE(m.kernel->AllProcesses().empty()) << "len=" << len;
+  }
+
+  failing->truncate_manifest_to = UINT64_MAX;
+  ExpectCleanRestoreWorks(m, addr, pattern);
+}
+
+}  // namespace
+}  // namespace aurora

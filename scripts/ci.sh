@@ -11,4 +11,22 @@ for preset in default asan; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
+
+  # The lane-scaling contract is load-bearing (byte-identity + monotone
+  # makespan); run it by name so a filter typo elsewhere can't silently
+  # drop it from the suite.
+  build_dir="build"
+  [[ "${preset}" == "asan" ]] && build_dir="build-asan"
+  "${build_dir}/tests/lane_scaling_test" >/dev/null
+
+  # The ablation bench must keep exporting the per-lane flush metrics; a
+  # BENCH json without them means the lane accounting regressed.
+  (cd "${build_dir}" && ./bench/bench_ablations >/dev/null)
+  for key in flush.lane0.bytes flush.lane0.busy_time flush.lane3.bytes \
+             flush.lane3.busy_time flush.lanes; do
+    if ! grep -q "\"${key}\"" "${build_dir}/BENCH_ablations.json"; then
+      echo "CI FAIL: ${key} missing from ${build_dir}/BENCH_ablations.json" >&2
+      exit 1
+    fi
+  done
 done

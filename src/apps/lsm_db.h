@@ -45,6 +45,9 @@ struct LsmStats {
   uint64_t compactions = 0;
   uint64_t bytes_compacted = 0;
   uint64_t wal_syncs = 0;
+  // Dead sstables compaction failed to unlink (each one leaks its blocks
+  // until the next successful compaction of that path).
+  uint64_t unlink_failures = 0;
 };
 
 class LsmDb {

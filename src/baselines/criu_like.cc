@@ -88,19 +88,28 @@ Result<CriuBreakdown> CriuLike::Checkpoint(const std::vector<Process*>& procs) {
   // --- Image writeout (after resume; CRIU does not flush caches) -------------
   result.image_bytes = mem_bytes + result.objects_queried * 512;
   SimStopwatch io(sim_->clock);
-  sim_->clock.Advance(static_cast<SimDuration>(static_cast<double>(result.image_bytes) /
-                                               cost.criu_image_write_bytes_per_ns));
-  // Issue the writes so the device sees the load too.
+  // Issue the writes so the device sees the load too; a failed image write
+  // fails the whole dump (criu exits nonzero), and the dump is not finished
+  // until the last write completes.
   uint64_t blocks = result.image_bytes / device_->block_size() + 1;
   std::vector<uint8_t> chunk(device_->block_size() * 64, 0);
+  SimTime last_write_done = sim_->clock.now();
   for (uint64_t b = 0; b < blocks; b += 64) {
     uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(64, blocks - b));
     if (next_image_lba_ + b + n >= device_->block_count()) {
       next_image_lba_ = 0;
     }
-    (void)device_->WriteAsync(next_image_lba_ + b, chunk.data(), n);
+    AURORA_ASSIGN_OR_RETURN(SimTime wrote,
+                            device_->WriteAsync(next_image_lba_ + b, chunk.data(), n));
+    last_write_done = std::max(last_write_done, wrote);
   }
   next_image_lba_ += blocks;
+  // The userspace image stream (page pipe + protobuf serialization) runs
+  // concurrently with the device writes; the dump ends when both have.
+  SimTime stream_done =
+      sim_->clock.now() + static_cast<SimDuration>(static_cast<double>(result.image_bytes) /
+                                                   cost.criu_image_write_bytes_per_ns);
+  sim_->clock.AdvanceTo(std::max(stream_done, last_write_done));
   result.io_write_time = io.Elapsed();
   return result;
 }

@@ -174,8 +174,9 @@ Result<SimTime> MemoryBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t
   if (copied == 0) {
     return sim_->clock.now();
   }
-  SimTime done = std::max(sim_->clock.now(), flusher_free_at_) + sim_->cost.MemCopy(copied);
-  flusher_free_at_ = done;
+  int lane = flusher_.NextLane();
+  SimTime done = flusher_.StartOn(lane, sim_->clock.now()) + sim_->cost.MemCopy(copied);
+  flusher_.Occupy(lane, done);
   obj->set_busy_until(done);
   sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(copied);
   return done;
@@ -184,12 +185,14 @@ Result<SimTime> MemoryBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t
 Result<CheckpointBackend::CommitInfo> MemoryBackend::CommitEpoch(
     const std::string& ckpt_name, const std::vector<uint8_t>& manifest, Oid replaces_manifest) {
   (void)replaces_manifest;  // images are append-only; Seal retires nothing
-  SimTime done = std::max(sim_->clock.now(), flusher_free_at_);
+  // Commit is a join point: the manifest copy starts only after every flusher
+  // lane drained, and nothing later may start before the commit finished.
+  SimTime done = std::max(sim_->clock.now(), flusher_.Makespan());
   if (!manifest.empty()) {
     done += sim_->cost.MemCopy(manifest.size());
     sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(manifest.size());
   }
-  flusher_free_at_ = done;
+  flusher_ = LaneSchedule(flusher_.lanes(), done);
   std::string group;
   if (!manifest.empty()) {
     auto head = PeekManifest(manifest);
@@ -260,8 +263,11 @@ Result<MemoryResolverFn> MemoryBackend::MakeResolver(uint64_t epoch, RestoreMode
                                                      std::shared_ptr<SimTime> stream_done) {
   (void)epoch;  // images are written once; any epoch sees the same pages
   if (mode == RestoreMode::kFull) {
+    // Independent objects materialize on parallel lanes (same width as the
+    // flusher); the caller advances to the makespan once at the end.
+    auto lanes = std::make_shared<LaneSchedule>(flusher_.lanes(), *stream_done);
     return MemoryResolverFn(
-        [this, stream_done](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+        [this, stream_done, lanes](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
           auto obj = VmObject::CreateAnonymous(size);
           uint64_t copied = 0;
           if (const ObjectImage* img = FindObject(oid.value)) {
@@ -270,9 +276,10 @@ Result<MemoryResolverFn> MemoryBackend::MakeResolver(uint64_t epoch, RestoreMode
               copied += kPageSize;
             }
           }
-          // The copy-in stream runs concurrently with OS-state rebuilding;
-          // the caller advances to its completion once at the end.
-          *stream_done += sim_->cost.MemCopy(copied);
+          int lane = lanes->NextLane();
+          SimTime done = lanes->StartOn(lane, 0) + sim_->cost.MemCopy(copied);
+          lanes->Occupy(lane, done);
+          *stream_done = std::max(*stream_done, done);
           return ResolvedMemory{std::move(obj), false};
         });
   }
@@ -331,10 +338,16 @@ bool MemoryBackend::InstallPager(VmObject* base) {
 // NetBackend
 // -----------------------------------------------------------------------------
 
-SimTime NetBackend::QueueTransfer(uint64_t payload) {
-  SimTime start = std::max(sim_->clock.now(), link_free_at_);
-  SimTime done = start + sim_->cost.NetTransfer(payload);
-  link_free_at_ = done;
+SimTime NetBackend::QueueTransferOn(int lane, uint64_t payload) {
+  SimTime start = lanes_.StartOn(lane, sim_->clock.now());
+  // The wire's byte time is shared across stream lanes; per-stream latency
+  // (the NetTransfer half-RTT) overlaps. One lane: the stream timeline
+  // includes the wire time plus latency, so the bucket below never binds and
+  // this is exactly the historical serial link.
+  wire_busy_ = std::max(wire_busy_, start) +
+               static_cast<SimDuration>(static_cast<double>(payload) / sim_->cost.net_bytes_per_ns);
+  SimTime done = std::max(start + sim_->cost.NetTransfer(payload), wire_busy_);
+  lanes_.Occupy(lane, done);
   sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(payload);
   sim_->metrics.histogram("backend." + name_ + ".transfer_time").Record(done - sim_->clock.now());
   return done;
@@ -349,10 +362,14 @@ Result<Oid> NetBackend::CreateMemoryObject(uint64_t size_hint) {
 
 Result<SimTime> NetBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
                                              uint64_t* bytes) {
-  uint64_t shipped = 0;
+  // The page set splits round-robin over the stream lanes; each lane ships
+  // its share as one framed transfer. One lane = the whole object in a
+  // single transfer, the historical behavior.
+  std::vector<uint64_t> lane_payload(static_cast<size_t>(lanes_.lanes()), 0);
+  uint64_t page_index = 0;
   for (const auto& [pgidx, frame] : obj->pages()) {
     remote_->StagePage(oid.value, obj->size(), pgidx, frame->data.data());
-    shipped += kPageSize + kPageHeaderBytes;
+    lane_payload[page_index++ % lane_payload.size()] += kPageSize + kPageHeaderBytes;
     if (pages != nullptr) {
       (*pages)++;
     }
@@ -360,12 +377,17 @@ Result<SimTime> NetBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* p
       *bytes += kPageSize;
     }
   }
-  if (shipped == 0) {
+  if (page_index == 0) {
     return sim_->clock.now();
   }
   // Asynchronous NIC push: queue behind earlier transfers, don't stall the
   // application. Durability is arrival at the peer's image table.
-  SimTime done = QueueTransfer(shipped);
+  SimTime done = sim_->clock.now();
+  for (size_t lane = 0; lane < lane_payload.size(); lane++) {
+    if (lane_payload[lane] > 0) {
+      done = std::max(done, QueueTransferOn(static_cast<int>(lane), lane_payload[lane]));
+    }
+  }
   obj->set_busy_until(done);
   return done;
 }
@@ -380,8 +402,12 @@ Result<CheckpointBackend::CommitInfo> NetBackend::CommitEpoch(
       group = head->name;
     }
   }
-  // Commit record + manifest ride one framed message.
-  SimTime done = QueueTransfer(manifest.size() + 64);
+  // Commit record + manifest ride one framed message, sent only after every
+  // stream lane drained (the peer must hold all pages before it seals the
+  // epoch); later transfers queue behind the commit on every lane.
+  lanes_ = LaneSchedule(lanes_.lanes(), std::max(sim_->clock.now(), lanes_.Makespan()));
+  SimTime done = QueueTransferOn(0, manifest.size() + 64);
+  lanes_ = LaneSchedule(lanes_.lanes(), done);
   sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
   return remote_->Seal(std::move(group), ckpt_name, manifest, done);
 }
@@ -405,8 +431,14 @@ Result<MemoryResolverFn> NetBackend::MakeResolver(uint64_t epoch, RestoreMode mo
   MemoryBackend* remote = remote_;
   SimContext* sim = sim_;
   if (mode == RestoreMode::kFull) {
+    // Pull streams: independent objects arrive on parallel lanes (latency
+    // halves overlap, wire byte time is shared) while the OS state rebuilds;
+    // the caller advances to the makespan at the end. One lane is the
+    // historical back-to-back link.
+    auto lanes = std::make_shared<LaneSchedule>(lanes_.lanes(), *stream_done);
+    auto wire = std::make_shared<SimTime>(*stream_done);
     return MemoryResolverFn(
-        [remote, sim, stream_done](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
+        [remote, sim, stream_done, lanes, wire](Oid oid, uint64_t size) -> Result<ResolvedMemory> {
           auto obj = VmObject::CreateAnonymous(size);
           uint64_t payload = 0;
           if (const MemoryBackend::ObjectImage* img = remote->FindObject(oid.value)) {
@@ -415,9 +447,14 @@ Result<MemoryResolverFn> NetBackend::MakeResolver(uint64_t epoch, RestoreMode mo
               payload += kPageSize + kPageHeaderBytes;
             }
           }
-          // Pull stream: objects arrive back-to-back over the link while the
-          // OS state rebuilds; the caller advances to completion at the end.
-          *stream_done += sim->cost.NetTransfer(payload);
+          int lane = lanes->NextLane();
+          SimTime start = lanes->StartOn(lane, 0);
+          *wire = std::max(*wire, start) +
+                  static_cast<SimDuration>(static_cast<double>(payload) /
+                                           sim->cost.net_bytes_per_ns);
+          SimTime done = std::max(start + sim->cost.NetTransfer(payload), *wire);
+          lanes->Occupy(lane, done);
+          *stream_done = std::max(*stream_done, done);
           return ResolvedMemory{std::move(obj), false};
         });
   }

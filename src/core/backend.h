@@ -48,6 +48,13 @@ class CheckpointBackend {
 
   virtual const std::string& name() const = 0;
 
+  // Fans this backend's flush/restore work over `lanes` parallel lanes
+  // (cores driving device queues, flusher threads, or NIC streams). Work
+  // completion becomes the makespan over lanes instead of a serial sum;
+  // 1 lane is the exact historical serial timeline. Backends without a
+  // parallelizable flusher ignore it.
+  virtual void SetFlushLanes(int lanes) { (void)lanes; }
+
   // --- Checkpoint destination ----------------------------------------------
   // Epoch the next commit will seal (matches ObjectStore::current_epoch()).
   virtual uint64_t current_epoch() const = 0;
@@ -112,6 +119,9 @@ class StoreBackend : public CheckpointBackend {
       : sim_(sim), store_(store), fs_(fs) {}
 
   const std::string& name() const override { return name_; }
+  void SetFlushLanes(int lanes) override {
+    store_->SetFlushLanes(static_cast<uint32_t>(lanes < 1 ? 1 : lanes));
+  }
   uint64_t current_epoch() const override { return store_->current_epoch(); }
   Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
   Result<Oid> PersistNamespace() override { return fs_->PersistNamespace(); }
@@ -165,6 +175,11 @@ class MemoryBackend : public CheckpointBackend {
   };
 
   const std::string& name() const override { return name_; }
+  void SetFlushLanes(int lanes) override {
+    // Reconfiguring is a barrier: new lanes all start where the old
+    // schedule would have drained, so no queued work is forgotten.
+    flusher_ = LaneSchedule(lanes, flusher_.Makespan());
+  }
   uint64_t current_epoch() const override { return epoch_; }
   Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
   Result<Oid> PersistNamespace() override { return kInvalidOid; }
@@ -200,9 +215,10 @@ class MemoryBackend : public CheckpointBackend {
   std::string name_;
   uint64_t next_oid_ = 1;
   uint64_t epoch_ = 1;
-  // When the asynchronous flusher drains its queue; new work starts at
-  // max(now, flusher_free_at_) so back-to-back checkpoints queue up.
-  SimTime flusher_free_at_ = 0;
+  // Asynchronous flusher lanes: each object's copy lands on the least-loaded
+  // lane and starts no earlier than that lane's previous drain, so
+  // back-to-back checkpoints queue up. One lane = the serial flusher.
+  LaneSchedule flusher_{1};
   std::map<uint64_t, ObjectImage> objects_;
   std::vector<ImageRecord> images_;
 };
@@ -221,6 +237,7 @@ class NetBackend : public CheckpointBackend {
       : sim_(sim), remote_(remote), name_(std::move(name)) {}
 
   const std::string& name() const override { return name_; }
+  void SetFlushLanes(int lanes) override { lanes_ = LaneSchedule(lanes, lanes_.Makespan()); }
   uint64_t current_epoch() const override { return remote_->current_epoch(); }
   Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
   Result<Oid> PersistNamespace() override { return kInvalidOid; }
@@ -246,14 +263,19 @@ class NetBackend : public CheckpointBackend {
   // stream's per-block header granularity).
   static constexpr uint64_t kPageHeaderBytes = 16;
 
-  // Queues `payload` bytes onto the link, returning arrival time. Never
-  // advances the local clock — checkpoint shipping is asynchronous.
-  SimTime QueueTransfer(uint64_t payload);
+  // Queues `payload` bytes onto stream lane `lane`, returning arrival time.
+  // Never advances the local clock — checkpoint shipping is asynchronous.
+  // Lanes model concurrent streams: their latency halves overlap, while the
+  // wire's byte occupancy is shared (wire_busy_). With one lane the stream
+  // timeline always covers the wire bucket, i.e. the historical serial link.
+  SimTime QueueTransferOn(int lane, uint64_t payload);
+  SimTime QueueTransfer(uint64_t payload) { return QueueTransferOn(lanes_.NextLane(), payload); }
 
   SimContext* sim_;
   MemoryBackend* remote_;
   std::string name_;
-  SimTime link_free_at_ = 0;
+  LaneSchedule lanes_{1};
+  SimTime wire_busy_ = 0;
 };
 
 // -----------------------------------------------------------------------------

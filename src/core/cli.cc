@@ -68,6 +68,13 @@ Status SlsCli::SetInFlightEpochs(const std::string& group_name, uint32_t limit) 
   return Status::Ok();
 }
 
+Result<int> SlsCli::SetFlushLanes(int lanes) {
+  if (lanes < 1) {
+    return Status::Error(Errc::kInvalidArgument, "flush lane count must be >= 1");
+  }
+  return sls_->SetFlushLanes(lanes);
+}
+
 std::vector<std::string> SlsCli::Ps() {
   std::vector<std::string> out;
   for (ConsistencyGroup* group : sls_->Groups()) {
@@ -181,15 +188,17 @@ Result<CheckpointStream> SlsCli::Send(const std::string& group_name, uint64_t ep
   for (const auto& [oid, size] : memory) {
     StreamPayload::ObjectData data;
     data.size = size;
-    auto got = since_epoch == 0
-                   ? store->BlocksAtEpoch(payload.epoch, Oid{oid})
-                   : store->ChangedBlocksSince(since_epoch, payload.epoch, Oid{oid});
-    if (got.ok()) {
-      for (uint64_t block : *got) {
-        AURORA_RETURN_IF_ERROR(
-            store->ReadAtEpoch(payload.epoch, Oid{oid}, block * bs, buf.data(), bs));
-        data.blocks[block] = buf;
-      }
+    // A manifest object with no extents yields an empty block list, not an
+    // error; a real lookup failure must fail the migration rather than ship
+    // a silently empty object.
+    AURORA_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> blocks,
+        since_epoch == 0 ? store->BlocksAtEpoch(payload.epoch, Oid{oid})
+                         : store->ChangedBlocksSince(since_epoch, payload.epoch, Oid{oid}));
+    for (uint64_t block : blocks) {
+      AURORA_RETURN_IF_ERROR(
+          store->ReadAtEpoch(payload.epoch, Oid{oid}, block * bs, buf.data(), bs));
+      data.blocks[block] = buf;
     }
     payload.objects.emplace_back(oid, std::move(data));
   }

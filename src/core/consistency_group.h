@@ -3,6 +3,7 @@
 #define SRC_CORE_CONSISTENCY_GROUP_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <set>
 #include <string>
@@ -48,13 +49,16 @@ class ConsistencyGroup {
   // Durability times of flushes not yet known durable, pruned against now.
   std::vector<SimTime> inflight_durable;
   // One record per committed full checkpoint, for backpressure tests and
-  // the overlap ablation.
+  // the overlap ablation. Kept as a ring capped at ckpt_history_cap newest
+  // records (a group checkpointing 100x/s would otherwise grow O(epochs)
+  // memory over million-epoch runs); inflight_durable shares the cap.
   struct CkptRecord {
     SimTime begin = 0;    // when the checkpoint pipeline entered
     SimTime durable = 0;  // when its flush + commit became durable
     uint64_t epoch = 0;
   };
-  std::vector<CkptRecord> ckpt_history;
+  std::deque<CkptRecord> ckpt_history;
+  size_t ckpt_history_cap = 1024;
 
   // Memory overcommitment (paper section 6): when set, pages are dropped
   // from memory as soon as their checkpoint flush completes — the unified

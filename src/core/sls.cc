@@ -35,6 +35,16 @@ CheckpointBackend* Sls::FindBackend(const std::string& name) {
   return nullptr;
 }
 
+int Sls::SetFlushLanes(int lanes) {
+  lanes = std::max(1, std::min(lanes, sim_->ncpus));
+  sim_->flush_lanes = lanes;
+  for (auto& b : backends_) {
+    b->SetFlushLanes(lanes);
+  }
+  sim_->metrics.gauge("flush.lanes").Set(static_cast<int64_t>(lanes));
+  return lanes;
+}
+
 Status Sls::SetBackend(ConsistencyGroup* group, const std::string& backend_name) {
   CheckpointBackend* backend = FindBackend(backend_name);
   if (backend == nullptr) {
@@ -389,7 +399,16 @@ Status Sls::CkptCommit(CheckpointContext* ctx) {
   if (ctx->durable > now) {
     inflight.push_back(ctx->durable);
   }
+  // Pathological manual-checkpoint loops can outrun the time-based pruning
+  // above; the ring cap bounds both books regardless.
+  if (inflight.size() > group->ckpt_history_cap) {
+    inflight.erase(inflight.begin(),
+                   inflight.end() - static_cast<long>(group->ckpt_history_cap));
+  }
   group->ckpt_history.push_back({ctx->begin, ctx->durable, commit.epoch});
+  while (group->ckpt_history.size() > group->ckpt_history_cap) {
+    group->ckpt_history.pop_front();
+  }
 
   sim_->metrics.counter("ckpt.pages_flushed").Add(ctx->result.pages_flushed);
   sim_->metrics.counter("ckpt.bytes_flushed").Add(ctx->result.bytes_flushed);

@@ -99,6 +99,11 @@ class Sls {
   // the group has no checkpoint state (fresh or just restored through the
   // same backend) — mixing destinations mid-chain would strand pages.
   Status SetBackend(ConsistencyGroup* group, const std::string& backend_name);
+  // Fans checkpoint flush and eager restore across `lanes` cores, each
+  // driving its own device submission queue / flusher / NIC stream, on every
+  // registered backend. Clamped to [1, ncpus]; 1 (the default) is the exact
+  // serial timeline. Returns the clamped value.
+  int SetFlushLanes(int lanes);
 
   // --- Checkpoint / restore ------------------------------------------------
   Result<CheckpointResult> Checkpoint(ConsistencyGroup* group, const std::string& name = "",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "src/base/checksum.h"
 #include "src/base/serializer.h"
@@ -304,6 +305,41 @@ std::vector<Oid> ObjectStore::ListObjects() const {
   return out;
 }
 
+void ObjectStore::SetFlushLanes(uint32_t lanes) {
+  if (lanes < 1) {
+    lanes = 1;
+  }
+  flush_lanes_ = lanes;
+  lane_last_done_.assign(lanes, sim_->clock.now());
+  device_->SetQueueCount(lanes);
+}
+
+uint32_t ObjectStore::NextFlushLane() {
+  // Deterministic but decorrelated from physical placement: sequential
+  // AllocBlock numbers stripe over the array's children with the same linear
+  // cursor, so `cursor % lanes` would move in lock-step with the stripe map
+  // and pin every child to a single queue (gcd of the two strides), which
+  // parallelizes nothing. The splitmix64 finalizer spreads each child's
+  // blocks over all lanes while keeping reruns identical.
+  uint64_t z = lane_cursor_++ + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<uint32_t>(z % flush_lanes_);
+}
+
+void ObjectStore::RecordLaneIo(uint32_t lane, uint64_t bytes, SimTime done) {
+  const std::string prefix = "flush.lane" + std::to_string(lane);
+  sim_->metrics.counter(prefix + ".bytes").Add(bytes);
+  // Busy time: how much this I/O extended the lane's timeline beyond where
+  // it already stood (idle gaps are not busy).
+  SimTime since = std::max(lane_last_done_[lane], sim_->clock.now());
+  if (done > since) {
+    sim_->metrics.counter(prefix + ".busy_time").Add(static_cast<uint64_t>(done - since));
+  }
+  lane_last_done_[lane] = std::max(lane_last_done_[lane], done);
+}
+
 Result<SimTime> ObjectStore::WriteAt(Oid oid, uint64_t off, const void* data, uint64_t len) {
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
@@ -335,8 +371,9 @@ Result<SimTime> ObjectStore::WriteAt(Oid oid, uint64_t off, const void* data, ui
     std::memcpy(buf.data() + in_block, src, chunk);
 
     AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
-    AURORA_ASSIGN_OR_RETURN(
-        SimTime wdone, device_->WriteAsync(DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
+    uint32_t lane = NextFlushLane();
+    AURORA_ASSIGN_OR_RETURN(SimTime wdone, device_->WriteAsyncOn(lane, DevLba(phys), buf.data(),
+                                                                 DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
 
     if (old != info.extents.end()) {
@@ -391,16 +428,22 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
     for (const IoRun& r : block_runs) {
       covered += r.len;
     }
+    // Each store block is one lane's unit of work: its RMW read and its
+    // write share a submission queue, distinct blocks round-robin over
+    // lanes and pipeline against each other.
+    uint32_t lane = NextFlushLane();
+    uint64_t lane_bytes = 0;
     auto old = info.extents.find(logical);
     if (old != info.extents.end() && covered < bs) {
       // Asynchronous RMW read: data is host-resident; the device time folds
       // into this block's write completion rather than stalling the caller.
-      auto rdone = device_->ReadAsync(DevLba(old->second.phys), buf.data(),
-                                      DevBlocksPerStoreBlock());
+      auto rdone = device_->ReadAsyncOn(lane, DevLba(old->second.phys), buf.data(),
+                                        DevBlocksPerStoreBlock());
       if (!rdone.ok()) {
         return rdone.status();
       }
       done = std::max(done, *rdone);
+      lane_bytes += bs;
       sim_->metrics.counter("store.rmw_folds").Add();
     } else {
       std::memset(buf.data(), 0, bs);
@@ -410,9 +453,11 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
       sim_->metrics.counter("store.bytes_written").Add(r.len);
     }
     AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
-    AURORA_ASSIGN_OR_RETURN(
-        SimTime wdone, device_->WriteAsync(DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
+    AURORA_ASSIGN_OR_RETURN(SimTime wdone, device_->WriteAsyncOn(lane, DevLba(phys), buf.data(),
+                                                                 DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
+    lane_bytes += bs;
+    RecordLaneIo(lane, lane_bytes, wdone);
     if (old != info.extents.end()) {
       KillBlock(old->second.phys, old->second.birth);
       old->second = Extent{phys, epoch_};
@@ -731,9 +776,11 @@ Status ObjectStore::ReadAtEpoch(uint64_t epoch, Oid oid, uint64_t off, void* out
     if (ext == info->extents.end()) {
       std::memset(dst, 0, chunk);
     } else if (completion != nullptr) {
+      // Streaming restore: reads pipeline, and with flush lanes configured
+      // they also fan out over the device submission queues.
       AURORA_ASSIGN_OR_RETURN(
-          SimTime t,
-          device_->ReadAsync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+          SimTime t, device_->ReadAsyncOn(NextFlushLane(), DevLba(ext->second.phys), buf.data(),
+                                          DevBlocksPerStoreBlock()));
       done = std::max(done, t);
       std::memcpy(dst, buf.data() + in_block, chunk);
     } else {

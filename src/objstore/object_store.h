@@ -91,6 +91,15 @@ class ObjectStore {
   };
   Result<SimTime> WriteAtBatch(Oid oid, const std::vector<IoRun>& runs);
 
+  // --- Parallel flush lanes -------------------------------------------------
+  // Fans the flusher's store-block I/O across `lanes` device submission
+  // queues, round-robin per store block. Block placement (AllocBlock call
+  // order) and contents are unaffected, so the stored bytes are identical for
+  // any lane count; only completion times change. 1 (the default) is the
+  // historical serial timeline, exactly.
+  void SetFlushLanes(uint32_t lanes);
+  uint32_t flush_lanes() const { return flush_lanes_; }
+
   // Reads from a committed checkpoint's view of the object (restore and
   // lazy-restore paging).
   // Reads from a committed epoch. With `completion` null the call is
@@ -185,6 +194,11 @@ class ObjectStore {
 
   Result<const ObjectInfo*> LoadEpochTable(uint64_t epoch, Oid oid);
 
+  // Picks the submission queue for the next flush-path store block and
+  // mirrors per-lane occupancy into the metrics registry.
+  uint32_t NextFlushLane();
+  void RecordLaneIo(uint32_t lane, uint64_t bytes, SimTime done);
+
   BlockDevice* device_;
   SimContext* sim_;
   StoreOptions options_;
@@ -202,6 +216,13 @@ class ObjectStore {
   // Completion time of the latest data write in the current epoch; commits
   // must not declare durability before it.
   SimTime last_data_write_done_ = 0;
+
+  // Flush-lane state: how many submission queues the flusher fans over, the
+  // round-robin cursor that assigns store blocks to lanes, and the previous
+  // per-lane completion (for busy-time accounting in the metrics).
+  uint32_t flush_lanes_ = 1;
+  uint64_t lane_cursor_ = 0;
+  std::vector<SimTime> lane_last_done_ = {0};
 
   // Cache of historic epoch tables for ReadAtEpoch.
   std::map<uint64_t, std::unordered_map<Oid, ObjectInfo>> epoch_cache_;

@@ -27,19 +27,55 @@ MemBlockDevice::MemBlockDevice(SimClock* clock, uint64_t block_count, uint32_t b
                                DeviceProfile profile)
     : clock_(clock), block_count_(block_count), block_size_(block_size), profile_(profile) {}
 
-SimTime MemBlockDevice::CompleteIo(uint64_t bytes, SimDuration latency, double bw) {
-  SimTime start = std::max(clock_->now(), free_at_);
+SimTime MemBlockDevice::CompleteIo(uint32_t queue, uint64_t bytes, SimDuration latency,
+                                   double bw) {
+  SimTime& free_at = queue_free_[queue % queue_free_.size()];
+  SimTime start = std::max(clock_->now(), free_at);
   if (metrics_ != nullptr) {
     // Queue occupancy: how long this command waited behind earlier transfers
-    // before the channel became free. Zero when the device was idle.
+    // before its submission queue became free. Zero when the queue was idle.
     metrics_->histogram("device.queue_delay").Record(start - clock_->now());
   }
   auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) / bw);
-  free_at_ = start + transfer + profile_.command_overhead;
-  return free_at_ + latency;
+  SimTime queue_done = start + transfer + profile_.command_overhead;
+  if (profile_.channel_bytes_per_ns > 0) {
+    // Every transfer also occupies the shared media channel. With a single
+    // queue the per-queue rate (<= channel rate) always dominates, so this
+    // never moves queue_done; with many queues it is the aggregate-bandwidth
+    // ceiling that makes lane scaling flatten out.
+    channel_busy_ = std::max(channel_busy_, start) +
+                    static_cast<SimDuration>(static_cast<double>(bytes) /
+                                             profile_.channel_bytes_per_ns);
+    queue_done = std::max(queue_done, channel_busy_);
+  }
+  free_at = queue_done;
+  return queue_done + latency;
+}
+
+void MemBlockDevice::SetQueueCount(uint32_t queues) {
+  if (queues < 1) {
+    queues = 1;
+  }
+  // Shrinking must not lose pending occupancy: fold the dropped timelines
+  // into the surviving last queue.
+  if (queues < queue_free_.size()) {
+    SimTime tail = queue_free_[queues - 1];
+    for (size_t q = queues; q < queue_free_.size(); q++) {
+      tail = std::max(tail, queue_free_[q]);
+    }
+    queue_free_.resize(queues);
+    queue_free_[queues - 1] = tail;
+  } else {
+    queue_free_.resize(queues, clock_->now());
+  }
 }
 
 Result<SimTime> MemBlockDevice::WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) {
+  return WriteAsyncOn(0, lba, data, nblocks);
+}
+
+Result<SimTime> MemBlockDevice::WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                             uint32_t nblocks) {
   if (lba + nblocks > block_count_) {
     return Status::Error(Errc::kOutOfRange, "write past end of device");
   }
@@ -73,11 +109,16 @@ Result<SimTime> MemBlockDevice::WriteAsync(uint64_t lba, const void* data, uint3
     metrics_->counter("device.writes").Add(nblocks);
     metrics_->counter("device.bytes_written").Add(static_cast<uint64_t>(nblocks) * block_size_);
   }
-  return CompleteIo(static_cast<uint64_t>(nblocks) * block_size_, profile_.write_latency,
+  return CompleteIo(queue, static_cast<uint64_t>(nblocks) * block_size_, profile_.write_latency,
                     profile_.write_bytes_per_ns);
 }
 
 Result<SimTime> MemBlockDevice::ReadAsync(uint64_t lba, void* out, uint32_t nblocks) {
+  return ReadAsyncOn(0, lba, out, nblocks);
+}
+
+Result<SimTime> MemBlockDevice::ReadAsyncOn(uint32_t queue, uint64_t lba, void* out,
+                                            uint32_t nblocks) {
   if (lba + nblocks > block_count_) {
     return Status::Error(Errc::kOutOfRange, "read past end of device");
   }
@@ -96,7 +137,7 @@ Result<SimTime> MemBlockDevice::ReadAsync(uint64_t lba, void* out, uint32_t nblo
     metrics_->counter("device.reads").Add(nblocks);
     metrics_->counter("device.bytes_read").Add(static_cast<uint64_t>(nblocks) * block_size_);
   }
-  return CompleteIo(static_cast<uint64_t>(nblocks) * block_size_, profile_.read_latency,
+  return CompleteIo(queue, static_cast<uint64_t>(nblocks) * block_size_, profile_.read_latency,
                     profile_.read_bytes_per_ns);
 }
 
@@ -143,21 +184,37 @@ Result<SimTime> StripedDevice::ForEachRun(uint64_t lba, uint32_t nblocks, Op op)
 }
 
 Result<SimTime> StripedDevice::WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) {
-  const auto* src = static_cast<const uint8_t*>(data);
-  return ForEachRun(lba, nblocks,
-                    [&](BlockDevice* dev, uint64_t child_lba, uint32_t offset, uint32_t run) {
-                      return dev->WriteAsync(
-                          child_lba, src + static_cast<size_t>(offset) * block_size_, run);
-                    });
+  return WriteAsyncOn(0, lba, data, nblocks);
 }
 
 Result<SimTime> StripedDevice::ReadAsync(uint64_t lba, void* out, uint32_t nblocks) {
+  return ReadAsyncOn(0, lba, out, nblocks);
+}
+
+Result<SimTime> StripedDevice::WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                            uint32_t nblocks) {
+  const auto* src = static_cast<const uint8_t*>(data);
+  return ForEachRun(lba, nblocks,
+                    [&](BlockDevice* dev, uint64_t child_lba, uint32_t offset, uint32_t run) {
+                      return dev->WriteAsyncOn(
+                          queue, child_lba, src + static_cast<size_t>(offset) * block_size_, run);
+                    });
+}
+
+Result<SimTime> StripedDevice::ReadAsyncOn(uint32_t queue, uint64_t lba, void* out,
+                                           uint32_t nblocks) {
   auto* dst = static_cast<uint8_t*>(out);
   return ForEachRun(lba, nblocks,
                     [&](BlockDevice* dev, uint64_t child_lba, uint32_t offset, uint32_t run) {
-                      return dev->ReadAsync(child_lba,
-                                            dst + static_cast<size_t>(offset) * block_size_, run);
+                      return dev->ReadAsyncOn(
+                          queue, child_lba, dst + static_cast<size_t>(offset) * block_size_, run);
                     });
+}
+
+void StripedDevice::SetQueueCount(uint32_t queues) {
+  for (auto& c : children_) {
+    c->SetQueueCount(queues);
+  }
 }
 
 DeviceStats StripedDevice::stats() const {
@@ -183,6 +240,11 @@ std::unique_ptr<BlockDevice> MakePaperTestbedStore(SimClock* clock, uint64_t tot
   DeviceProfile per_device;
   per_device.write_bytes_per_ns = 1.35;
   per_device.read_bytes_per_ns = 1.45;
+  // The per-queue rates above are what one submitter achieves at its queue
+  // depth; the Optane 900P media itself sustains ~4x that, so additional
+  // submission queues (flush lanes) scale until this aggregate channel rate
+  // binds. Irrelevant to single-queue callers by construction.
+  per_device.channel_bytes_per_ns = 4 * 1.35;
   uint64_t per_device_blocks = (total_bytes / kDevices) / block_size;
   std::vector<std::unique_ptr<BlockDevice>> children;
   children.reserve(kDevices);

@@ -35,6 +35,11 @@ struct DeviceProfile {
   // I/O cannot reach streaming bandwidth (4 KiB writes top out at ~500k
   // IOPS per device).
   SimDuration command_overhead = 2 * kMicrosecond;
+  // Aggregate media/PCIe bandwidth shared by all submission queues of one
+  // device. The per-queue rates above are what a single submitter observes
+  // (queue-depth limited); extra queues scale throughput until this channel
+  // saturates. Zero means uncapped (single-queue callers never hit it).
+  double channel_bytes_per_ns = 0;
 };
 
 struct DeviceStats {
@@ -58,6 +63,23 @@ class BlockDevice {
   virtual Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) = 0;
   virtual Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) = 0;
 
+  // Multi-queue submission: like Write/ReadAsync but on submission queue
+  // `queue` (modulo the configured queue count). Queues have independent
+  // timelines, so I/Os on different queues pipeline; the plain entry points
+  // are queue 0. Devices that do not model queues ignore the hint.
+  virtual Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                       uint32_t nblocks) {
+    (void)queue;
+    return WriteAsync(lba, data, nblocks);
+  }
+  virtual Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) {
+    (void)queue;
+    return ReadAsync(lba, out, nblocks);
+  }
+  // Resizes the submission-queue set (>= 1). Existing queue timelines are
+  // preserved where possible; a no-op on devices without queue modeling.
+  virtual void SetQueueCount(uint32_t queues) { (void)queues; }
+
   Status WriteSync(uint64_t lba, const void* data, uint32_t nblocks);
   Status ReadSync(uint64_t lba, void* out, uint32_t nblocks);
 
@@ -79,6 +101,10 @@ class MemBlockDevice : public BlockDevice {
 
   Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) override;
   Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
+  Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                               uint32_t nblocks) override;
+  Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) override;
+  void SetQueueCount(uint32_t queues) override;
 
   SimClock* clock() override { return clock_; }
   DeviceStats stats() const override { return stats_; }
@@ -106,7 +132,7 @@ class MemBlockDevice : public BlockDevice {
   size_t ResidentBlocks() const { return blocks_.size(); }
 
  private:
-  SimTime CompleteIo(uint64_t bytes, SimDuration latency, double bw);
+  SimTime CompleteIo(uint32_t queue, uint64_t bytes, SimDuration latency, double bw);
 
   SimClock* clock_;
   uint64_t block_count_;
@@ -114,8 +140,12 @@ class MemBlockDevice : public BlockDevice {
   DeviceProfile profile_;
   DeviceStats stats_;
   MetricsRegistry* metrics_ = nullptr;
-  // Device timeline: when the channel becomes free for the next transfer.
-  SimTime free_at_ = 0;
+  // Per-submission-queue timelines: when each queue is free for its next
+  // transfer. One queue by default, which is the historical serial model.
+  std::vector<SimTime> queue_free_{0};
+  // Shared media/PCIe occupancy across queues; only binds when the profile
+  // sets channel_bytes_per_ns and more than one queue is active.
+  SimTime channel_busy_ = 0;
 
   bool crash_armed_ = false;
   bool crashed_ = false;
@@ -135,6 +165,10 @@ class StripedDevice : public BlockDevice {
 
   Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) override;
   Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
+  Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                               uint32_t nblocks) override;
+  Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) override;
+  void SetQueueCount(uint32_t queues) override;
 
   SimClock* clock() override { return children_[0]->clock(); }
   DeviceStats stats() const override;

@@ -228,6 +228,36 @@ TEST_F(ObjStoreTest, JournalFullReported) {
   EXPECT_EQ(store_->JournalAppend(j, big.data(), big.size()).code(), Errc::kNoSpace);
 }
 
+TEST_F(ObjStoreTest, PrunedEpochEvictsCachedTable) {
+  auto oid = *store_->CreateObject(ObjType::kMemory);
+  auto v1 = Pattern(64 * kKiB, 1);
+  ASSERT_TRUE(store_->WriteAt(oid, 0, v1.data(), v1.size()).ok());
+  uint64_t e1 = store_->current_epoch();
+  ASSERT_TRUE(store_->CommitCheckpoint("one").ok());
+
+  auto v2 = Pattern(64 * kKiB, 2);
+  ASSERT_TRUE(store_->WriteAt(oid, 0, v2.data(), v2.size()).ok());
+  uint64_t e2 = store_->current_epoch();
+  ASSERT_TRUE(store_->CommitCheckpoint("two").ok());
+
+  // Warm the epoch cache for both checkpoints.
+  std::vector<uint8_t> back(v1.size());
+  ASSERT_TRUE(store_->ReadAtEpoch(e1, oid, 0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, v1);
+  ASSERT_TRUE(store_->ReadAtEpoch(e2, oid, 0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, v2);
+
+  ASSERT_TRUE(store_->DeleteCheckpointsBefore(e2).ok());
+
+  // The pruned epoch must report kNotFound, never serve the stale cached
+  // table (its blocks may already be reallocated).
+  EXPECT_EQ(store_->ReadAtEpoch(e1, oid, 0, back.data(), back.size()).code(), Errc::kNotFound);
+  EXPECT_EQ(store_->ExistsAtEpoch(e1, oid).status().code(), Errc::kNotFound);
+  // The surviving checkpoint stays readable.
+  ASSERT_TRUE(store_->ReadAtEpoch(e2, oid, 0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, v2);
+}
+
 // Crash-injection property: arm the device fuse at every write count within
 // a commit window; recovery must always land on a consistent checkpoint
 // (either the old or — if the superblock made it — the new one).

@@ -295,6 +295,101 @@ void FlushLaneAblation() {
               "     its own queue until the 4-device channel saturates (~8 lanes).\n");
 }
 
+// --- 7. Fault tolerance ------------------------------------------------------------
+void FaultToleranceAblation() {
+  PrintHeader("Ablation 7: integrity + retry overhead under injected device faults");
+  std::printf("  %-16s %18s %12s %12s %9s\n", "transient rate", "flush makespan(ms)",
+              "io.retries", "io.giveups", "aborted");
+  // The fig3 append profile again: one 256 MiB streaming checkpoint, now with
+  // seeded transient read/write errors on every device queue. The retry
+  // policy must absorb the modest rates with sub-5% makespan cost; rate 0
+  // must be exactly the no-injector timeline (the injector draws nothing).
+  constexpr uint64_t kMem = 256 * kMiB;
+  double clean_ms = 0;
+  int profile = 0;
+  for (double rate : {0.0, 0.001, 0.01}) {
+    BenchMachine m;
+    m.metrics_label = "faultrate" + std::to_string(profile++);
+    // Key contract for the BENCH JSON: the fault counters exist even on a
+    // run where no fault ever fires.
+    m.sim.metrics.counter("io.retries");
+    m.sim.metrics.counter("io.giveups");
+    m.sim.metrics.counter("ckpt.epochs_aborted");
+    if (rate > 0) {
+      FaultRule rule;
+      rule.read_error_rate = rate;
+      rule.write_error_rate = rate;
+      m.device->InstallFaults(0xFA170000 + static_cast<uint64_t>(rate * 1e6), {rule});
+    }
+    Process* proc = *m.kernel->CreateProcess("append");
+    auto obj = VmObject::CreateAnonymous(kMem);
+    uint64_t addr = *proc->vm().Map(0x400000, kMem, kProtRead | kProtWrite, obj, 0, false);
+    uint64_t value = 0;
+    for (uint64_t off = 0; off + kPageSize <= kMem; off += kPageSize) {
+      value++;
+      (void)proc->vm().Write(addr + off, &value, sizeof(value));
+    }
+    ConsistencyGroup* group = *m.sls->CreateGroup("append");
+    (void)m.sls->Attach(group, proc);
+
+    SimTime t0 = m.sim.clock.now();
+    auto ckpt = m.sls->Checkpoint(group, "faulty");
+    SimTime resume_at = t0 + ckpt->stop_time;
+    double flush_ms = ckpt->durable_at > resume_at ? ToMillis(ckpt->durable_at - resume_at) : 0;
+    if (rate == 0.0) {
+      clean_ms = flush_ms;
+    }
+    std::printf("  %-16g %18.1f %12llu %12llu %9llu\n", rate, flush_ms,
+                static_cast<unsigned long long>(m.sim.metrics.counter("io.retries").value()),
+                static_cast<unsigned long long>(m.sim.metrics.counter("io.giveups").value()),
+                static_cast<unsigned long long>(group->epochs_aborted));
+    if (BenchReport* report = BenchReport::Current()) {
+      std::string tag = "fault rate=" + std::to_string(rate);
+      report->AddResult(tag + " makespan", flush_ms, 0, "ms");
+      report->AddResult(tag + " overhead vs clean",
+                        clean_ms > 0 ? (flush_ms / clean_ms - 1.0) * 100.0 : 0, 0, "%");
+    }
+  }
+
+  // Degraded mode: a total write outage aborts the in-flight epoch (the app
+  // keeps running on the last durable one); once the device heals, the next
+  // checkpoint flushes the abandoned pages and durability catches back up.
+  BenchMachine m;
+  m.metrics_label = "faultoutage";
+  m.sim.metrics.counter("io.retries");
+  m.sim.metrics.counter("io.giveups");
+  m.sim.metrics.counter("ckpt.epochs_aborted");
+  Process* proc = *m.kernel->CreateProcess("append");
+  auto obj = VmObject::CreateAnonymous(16 * kMiB);
+  uint64_t addr = *proc->vm().Map(0x400000, 16 * kMiB, kProtRead | kProtWrite, obj, 0, false);
+  std::vector<uint8_t> page(kPageSize, 0x5a);
+  for (uint64_t off = 0; off < 16 * kMiB; off += kPageSize) {
+    (void)proc->vm().Write(addr + off, page.data(), page.size());
+  }
+  ConsistencyGroup* group = *m.sls->CreateGroup("append");
+  (void)m.sls->Attach(group, proc);
+  (void)m.sls->Checkpoint(group, "base");
+
+  FaultRule outage;
+  outage.write_error_rate = 1.0;
+  m.device->InstallFaults(0xFA17DEAD, {outage});
+  for (uint64_t off = 0; off < 16 * kMiB; off += kPageSize) {
+    (void)proc->vm().Write(addr + off, page.data(), page.size());
+  }
+  auto degraded = m.sls->Checkpoint(group, "outage");
+  m.device->ClearFaults();
+  auto recovered = m.sls->Checkpoint(group, "healed");
+  std::printf("  outage: aborted=%llu (degraded epoch %s), post-heal commit %s, "
+              "epochs_aborted metric=%llu\n",
+              static_cast<unsigned long long>(group->epochs_aborted),
+              degraded.ok() && degraded->aborted ? "abandoned gracefully" : "UNEXPECTED",
+              recovered.ok() && !recovered->aborted ? "durable" : "FAILED",
+              static_cast<unsigned long long>(
+                  m.sim.metrics.counter("ckpt.epochs_aborted").value()));
+  std::printf("  -> modest fault rates cost only retry backoff; a dead device degrades to\n"
+              "     memory-only epochs instead of killing the application.\n");
+}
+
 }  // namespace
 }  // namespace aurora
 
@@ -306,5 +401,6 @@ int main() {
   aurora::ChainCapAblation();
   aurora::OverlapAblation();
   aurora::FlushLaneAblation();
+  aurora::FaultToleranceAblation();
   return 0;
 }

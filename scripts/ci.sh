@@ -19,11 +19,16 @@ for preset in default asan; do
   [[ "${preset}" == "asan" ]] && build_dir="build-asan"
   "${build_dir}/tests/lane_scaling_test" >/dev/null
 
-  # The ablation bench must keep exporting the per-lane flush metrics; a
-  # BENCH json without them means the lane accounting regressed.
+  # So is the fault matrix (end-to-end integrity, retry masking, epoch
+  # abort): run it by name too.
+  "${build_dir}/tests/fault_matrix_test" >/dev/null
+
+  # The ablation bench must keep exporting the per-lane flush metrics and
+  # the fault-handling counters; a BENCH json without them means the lane
+  # accounting or the retry/abort instrumentation regressed.
   (cd "${build_dir}" && ./bench/bench_ablations >/dev/null)
   for key in flush.lane0.bytes flush.lane0.busy_time flush.lane3.bytes \
-             flush.lane3.busy_time flush.lanes; do
+             flush.lane3.busy_time flush.lanes io.retries ckpt.epochs_aborted; do
     if ! grep -q "\"${key}\"" "${build_dir}/BENCH_ablations.json"; then
       echo "CI FAIL: ${key} missing from ${build_dir}/BENCH_ablations.json" >&2
       exit 1

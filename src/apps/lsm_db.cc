@@ -130,7 +130,7 @@ Status LsmDb::FlushMemTable() {
                           SstableReader::Open(sim_, file));
   levels_[0].push_back(TableHandle{path, std::move(reader)});
   level_bytes_[0] += bytes;
-  memtable_->Clear();
+  AURORA_RETURN_IF_ERROR(memtable_->Clear());
   // WAL contents are covered by the flushed table; truncate it.
   if (wal_ != nullptr) {
     AURORA_RETURN_IF_ERROR(wal_->Truncate(0));
@@ -161,13 +161,15 @@ Status LsmDb::CompactLevel(size_t level) {
   // output is rewritten — this read/write amplification is what the Aurora
   // customization deletes.
   std::map<std::string, std::string> merged;
-  auto absorb = [&](std::vector<TableHandle>& tables, bool newer_wins) {
+  // A failed table read aborts the compaction before any input is unlinked —
+  // merging around an unreadable table would silently drop its records.
+  auto absorb = [&](std::vector<TableHandle>& tables, bool newer_wins) -> Status {
     for (auto& t : tables) {
-      (void)t.reader->ForEach([&](std::string_view k, std::string_view v) {
+      AURORA_RETURN_IF_ERROR(t.reader->ForEach([&](std::string_view k, std::string_view v) {
         if (newer_wins || merged.count(std::string(k)) == 0) {
           merged[std::string(k)] = std::string(v);
         }
-      });
+      }));
       stats_.bytes_compacted += t.reader->entries() * 64;
       // A failed unlink leaks the dead sstable's blocks; compaction itself
       // is still correct (the merged output supersedes the table), so count
@@ -178,10 +180,11 @@ Status LsmDb::CompactLevel(size_t level) {
       }
     }
     tables.clear();
+    return Status::Ok();
   };
   // Older level+1 first, then newer level entries overwrite.
-  absorb(levels_[level + 1], /*newer_wins=*/true);
-  absorb(levels_[level], /*newer_wins=*/true);
+  AURORA_RETURN_IF_ERROR(absorb(levels_[level + 1], /*newer_wins=*/true));
+  AURORA_RETURN_IF_ERROR(absorb(levels_[level], /*newer_wins=*/true));
   level_bytes_[level] = 0;
 
   std::string path = "sst-" + std::to_string(level + 1) + "-" + std::to_string(next_file_seq_++);
@@ -203,7 +206,7 @@ Status LsmDb::Recover() {
   if (wal_ == nullptr) {
     return Status::Ok();
   }
-  memtable_->Clear();
+  AURORA_RETURN_IF_ERROR(memtable_->Clear());
   uint64_t off = 0;
   std::vector<uint8_t> head(8);
   while (off + 8 <= wal_->size()) {

@@ -65,11 +65,11 @@ Result<std::string> MemTable::ReadValueAt(uint64_t value_off, uint32_t value_len
   return out;
 }
 
-void MemTable::Clear() {
+Status MemTable::Clear() {
   index_.clear();
   write_off_ = 0;
   uint32_t zero = 0;
-  (void)vm_->Write(arena_addr_, &zero, 4);
+  return vm_->Write(arena_addr_, &zero, 4);
 }
 
 Status MemTable::RecoverFromArena() {

@@ -47,7 +47,9 @@ class MemTable {
   }
 
   // Discards all entries (after a flush) — the arena restarts from zero.
-  void Clear();
+  // Fails if the end-of-log sentinel cannot be written (the arena would
+  // replay stale records after a restore).
+  Status Clear();
 
   // Rebuilds the index by scanning the arena records (post-restore fixup).
   Status RecoverFromArena();

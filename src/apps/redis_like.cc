@@ -22,7 +22,9 @@ RedisLike::RedisLike(SimContext* sim, Kernel* kernel, uint64_t num_keys, uint64_
   auto obj = VmObject::CreateAnonymous(region);
   base_ = *proc_->vm().Map(0x10000000, region, kProtRead | kProtWrite, obj, 0,
                            /*copy_on_write=*/true);
-  // Populate: every slot written once, like a loaded Redis instance.
+  // Populate: every slot written once, like a loaded Redis instance. The
+  // writes land in a mapping this constructor just created, so they cannot
+  // fail short of a simulator bug.
   std::vector<uint8_t> slot(slot_size_);
   for (uint64_t k = 0; k < num_keys_; k++) {
     std::memset(slot.data(), static_cast<int>(k & 0xff), slot.size());
@@ -64,6 +66,8 @@ Result<RdbSaveResult> RedisLike::BgSave(BlockDevice* device) {
                                                kRdbSerializeBytesPerNs));
   // The child really reads its (COW-shared) pages — a sampled walk keeps the
   // host-time cost of the simulation reasonable while touching real memory.
+  // The read targets the child's freshly forked image (resident by
+  // construction), so the sink is the only observable.
   uint8_t sink = 0;
   for (uint64_t k = 0; k < num_keys_; k += std::max<uint64_t>(1, num_keys_ / 1024)) {
     uint8_t b = 0;
@@ -71,13 +75,18 @@ Result<RdbSaveResult> RedisLike::BgSave(BlockDevice* device) {
     sink ^= b;
   }
   (void)sink;
-  // Issue the image writes to the device.
+  // Issue the image writes to the device. A failed write aborts the save —
+  // redis discards a partial RDB file rather than advertising it as durable.
   uint64_t blocks = result.rdb_bytes / device->block_size() + 1;
   std::vector<uint8_t> chunk(device->block_size() * 64, 0);
   for (uint64_t b = 0; b < blocks; b += 64) {
     uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(64, blocks - b));
     if (b + n < device->block_count()) {
-      (void)device->WriteAsync(b, chunk.data(), n);
+      Result<SimTime> wrote = device->WriteAsync(b, chunk.data(), n);
+      if (!wrote.ok()) {
+        kernel_->DestroyProcess(child);
+        return wrote.status();
+      }
     }
   }
   result.child_save_time = save_watch.Elapsed();

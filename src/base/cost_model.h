@@ -48,6 +48,14 @@ struct CostModel {
   // --- Network -------------------------------------------------------------
   SimDuration net_rtt = 140 * kMicrosecond;      // 10 GbE round trip incl. client stack
   double net_bytes_per_ns = 1.1;                 // ~9 Gb/s effective
+  // How long a sender waits on an unacknowledged stream send before it
+  // declares the transfer lost and reconnects (see NetBackend link faults).
+  SimDuration net_send_timeout = 2 * kMillisecond;
+
+  // --- Fault handling ------------------------------------------------------
+  // First backoff of the shared IoRetryPolicy; later attempts grow
+  // geometrically. Charged to the simulated clock only when a fault fires.
+  SimDuration io_retry_backoff = 50 * kMicrosecond;
 
   // --- CRIU-style userspace checkpointing primitives -----------------------
   // CRIU gathers state via ptrace/procfs round trips and streams pages

@@ -53,18 +53,44 @@ Result<CheckpointBackend::CommitInfo> StoreBackend::CommitEpoch(
     // Manifest object for this epoch; the previous one leaves the live table
     // (it remains readable at its own epoch).
     AURORA_ASSIGN_OR_RETURN(info.manifest_oid, store_->CreateObject(ObjType::kManifest));
-    AURORA_ASSIGN_OR_RETURN(
-        manifest_done, store_->WriteAt(info.manifest_oid, 0, manifest.data(), manifest.size()));
+    Result<SimTime> wrote =
+        store_->WriteAt(info.manifest_oid, 0, manifest.data(), manifest.size());
+    if (!wrote.ok()) {
+      // Drop the half-written manifest from the live table; leaving it would
+      // let FindManifestInStore return a manifest the commit never covered.
+      DropStrandedManifest(info.manifest_oid);
+      return wrote.status();
+    }
+    manifest_done = *wrote;
     if (replaces_manifest.valid()) {
-      (void)store_->DeleteObject(replaces_manifest);
+      // Deleted before the commit so the removal is serialized into this
+      // epoch's metadata. After an aborted epoch the retry's delete finds the
+      // oid already gone (kNotFound) — benign, not counted as a failure.
+      Status deleted = store_->DeleteObject(replaces_manifest);
+      if (!deleted.ok() && deleted.code() != Errc::kNotFound) {
+        sim_->metrics.counter("backend.manifest_delete_failures").Add();
+      }
     }
     sim_->metrics.counter("backend." + name_ + ".bytes_shipped").Add(manifest.size());
   }
   info.epoch = store_->current_epoch();
-  AURORA_ASSIGN_OR_RETURN(SimTime commit_done, store_->CommitCheckpoint(ckpt_name));
-  info.durable_at = std::max(manifest_done, commit_done);
+  Result<SimTime> committed = store_->CommitCheckpoint(ckpt_name);
+  if (!committed.ok()) {
+    if (!manifest.empty()) {
+      DropStrandedManifest(info.manifest_oid);
+    }
+    return committed.status();
+  }
+  info.durable_at = std::max(manifest_done, *committed);
   sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
   return info;
+}
+
+void StoreBackend::DropStrandedManifest(Oid oid) {
+  Status deleted = store_->DeleteObject(oid);
+  if (!deleted.ok()) {
+    sim_->metrics.counter("backend.manifest_delete_failures").Add();
+  }
 }
 
 Result<CheckpointBackend::LoadedManifest> StoreBackend::LoadManifest(
@@ -338,8 +364,25 @@ bool MemoryBackend::InstallPager(VmObject* base) {
 // NetBackend
 // -----------------------------------------------------------------------------
 
-SimTime NetBackend::QueueTransferOn(int lane, uint64_t payload) {
+Result<SimTime> NetBackend::QueueTransferOn(int lane, uint64_t payload) {
   SimTime start = lanes_.StartOn(lane, sim_->clock.now());
+  if (link_.drop_rate > 0.0) {
+    // Lossy link: each timed-out attempt pushes the lane's start time out by
+    // the send timeout plus the reconnect round trip. The guard keeps the
+    // zero-fault profile from consuming RNG draws (bit-identical timeline).
+    int attempt = 1;
+    while (link_rng_.NextBool(link_.drop_rate)) {
+      sim_->metrics.counter("net.timeouts").Add();
+      if (attempt >= link_.max_attempts) {
+        sim_->metrics.counter("io.giveups").Add();
+        return Status::Error(Errc::kIoError, "network send timed out");
+      }
+      attempt++;
+      sim_->metrics.counter("io.retries").Add();
+      sim_->metrics.counter("net.reconnects").Add();
+      start += sim_->cost.net_send_timeout + sim_->cost.net_rtt;
+    }
+  }
   // The wire's byte time is shared across stream lanes; per-stream latency
   // (the NetTransfer half-RTT) overlaps. One lane: the stream timeline
   // includes the wire time plus latency, so the bucket below never binds and
@@ -385,7 +428,9 @@ Result<SimTime> NetBackend::WriteObjectPages(Oid oid, VmObject* obj, uint64_t* p
   SimTime done = sim_->clock.now();
   for (size_t lane = 0; lane < lane_payload.size(); lane++) {
     if (lane_payload[lane] > 0) {
-      done = std::max(done, QueueTransferOn(static_cast<int>(lane), lane_payload[lane]));
+      AURORA_ASSIGN_OR_RETURN(SimTime lane_done,
+                              QueueTransferOn(static_cast<int>(lane), lane_payload[lane]));
+      done = std::max(done, lane_done);
     }
   }
   obj->set_busy_until(done);
@@ -406,7 +451,7 @@ Result<CheckpointBackend::CommitInfo> NetBackend::CommitEpoch(
   // stream lane drained (the peer must hold all pages before it seals the
   // epoch); later transfers queue behind the commit on every lane.
   lanes_ = LaneSchedule(lanes_.lanes(), std::max(sim_->clock.now(), lanes_.Makespan()));
-  SimTime done = QueueTransferOn(0, manifest.size() + 64);
+  AURORA_ASSIGN_OR_RETURN(SimTime done, QueueTransferOn(0, manifest.size() + 64));
   lanes_ = LaneSchedule(lanes_.lanes(), done);
   sim_->metrics.counter("backend." + name_ + ".epochs_committed").Add();
   return remote_->Seal(std::move(group), ckpt_name, manifest, done);

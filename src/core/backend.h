@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/rng.h"
 #include "src/base/sim_context.h"
 #include "src/core/serialize.h"
 #include "src/fs/aurora_fs.h"
@@ -143,6 +144,10 @@ class StoreBackend : public CheckpointBackend {
   ObjectStore* store() { return store_; }
 
  private:
+  // Removes a manifest object created by a CommitEpoch that then failed, so
+  // the live table never points at a manifest no committed epoch covers.
+  void DropStrandedManifest(Oid oid);
+
   SimContext* sim_;
   ObjectStore* store_;
   AuroraFs* fs_;
@@ -233,8 +238,23 @@ class MemoryBackend : public CheckpointBackend {
 // -----------------------------------------------------------------------------
 class NetBackend : public CheckpointBackend {
  public:
+  // Lossy-link model: each queued transfer independently times out with
+  // probability drop_rate; a timeout charges net_send_timeout + one RTT for
+  // the reconnect before the retry. Bounded like disk I/O retries — after
+  // max_attempts the send fails with kIoError and the epoch aborts upstream.
+  struct LinkFaultProfile {
+    uint64_t seed = 0x6E657431;  // "net1"
+    double drop_rate = 0.0;
+    int max_attempts = 4;
+  };
+
   NetBackend(SimContext* sim, MemoryBackend* remote, std::string name = "net")
       : sim_(sim), remote_(remote), name_(std::move(name)) {}
+
+  void SetLinkFaults(const LinkFaultProfile& profile) {
+    link_ = profile;
+    link_rng_ = Rng(profile.seed);
+  }
 
   const std::string& name() const override { return name_; }
   void SetFlushLanes(int lanes) override { lanes_ = LaneSchedule(lanes, lanes_.Makespan()); }
@@ -268,14 +288,19 @@ class NetBackend : public CheckpointBackend {
   // Lanes model concurrent streams: their latency halves overlap, while the
   // wire's byte occupancy is shared (wire_busy_). With one lane the stream
   // timeline always covers the wire bucket, i.e. the historical serial link.
-  SimTime QueueTransferOn(int lane, uint64_t payload);
-  SimTime QueueTransfer(uint64_t payload) { return QueueTransferOn(lanes_.NextLane(), payload); }
+  // Fails with kIoError when the lossy-link profile exhausts its retries.
+  Result<SimTime> QueueTransferOn(int lane, uint64_t payload);
+  Result<SimTime> QueueTransfer(uint64_t payload) {
+    return QueueTransferOn(lanes_.NextLane(), payload);
+  }
 
   SimContext* sim_;
   MemoryBackend* remote_;
   std::string name_;
   LaneSchedule lanes_{1};
   SimTime wire_busy_ = 0;
+  LinkFaultProfile link_;
+  Rng link_rng_;
 };
 
 // -----------------------------------------------------------------------------

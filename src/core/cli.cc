@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/core/coredump.h"
+#include "src/objstore/scrubber.h"
 
 namespace aurora {
 
@@ -170,6 +171,37 @@ Result<std::vector<uint8_t>> SlsCli::Dump(const std::string& group_name, uint64_
 }
 
 Status SlsCli::Prune(uint64_t epoch) { return sls_->store()->DeleteCheckpointsBefore(epoch); }
+
+Result<std::vector<std::string>> SlsCli::Scrub() {
+  Scrubber scrubber(sls_->store());
+  AURORA_ASSIGN_OR_RETURN(ScrubReport report, scrubber.ScrubAll());
+  std::vector<std::string> out;
+  char line[256];
+  for (const ScrubEpochVerdict& verdict : report.epochs) {
+    std::snprintf(line, sizeof(line),
+                  "epoch=%llu name=%s meta=%s blocks=%llu crc_errors=%llu io_errors=%llu %s",
+                  static_cast<unsigned long long>(verdict.epoch), verdict.name.c_str(),
+                  verdict.meta_ok ? "ok" : "bad",
+                  static_cast<unsigned long long>(verdict.blocks_scanned),
+                  static_cast<unsigned long long>(verdict.crc_errors),
+                  static_cast<unsigned long long>(verdict.io_errors),
+                  verdict.clean() ? "CLEAN" : "CORRUPT");
+    out.push_back(line);
+  }
+  for (const ScrubBadBlock& bad : report.bad_blocks) {
+    std::snprintf(line, sizeof(line), "  bad block: epoch=%llu oid=%llu logical=%llu phys=%llu %s",
+                  static_cast<unsigned long long>(bad.epoch),
+                  static_cast<unsigned long long>(bad.oid.value),
+                  static_cast<unsigned long long>(bad.logical),
+                  static_cast<unsigned long long>(bad.phys),
+                  bad.error == Errc::kCorrupt ? "crc-mismatch" : "io-error");
+    out.push_back(line);
+  }
+  std::snprintf(line, sizeof(line), "scrub: %zu epochs, %zu bad blocks: %s", report.epochs.size(),
+                report.bad_blocks.size(), report.clean() ? "CLEAN" : "CORRUPT");
+  out.push_back(line);
+  return out;
+}
 
 Result<CheckpointStream> SlsCli::Send(const std::string& group_name, uint64_t epoch,
                                       uint64_t since_epoch) {

@@ -70,6 +70,10 @@ class SlsCli {
   // Reclaims history: drops checkpoints older than `epoch` and frees their
   // exclusive blocks (execution history is bounded only by storage).
   Status Prune(uint64_t epoch);
+  // sls scrub: walks every committed epoch's metadata and data blocks,
+  // verifying the per-extent CRCs against the media. One verdict line per
+  // epoch plus one line per bad block, then a machine total.
+  Result<std::vector<std::string>> Scrub();
 
   // sls send: serializes the group's newest durable checkpoint (manifest +
   // memory) into a stream, charging network transfer time. With

@@ -93,6 +93,9 @@ class ConsistencyGroup {
   LatencyHistogram stop_times;
   uint64_t checkpoints_taken = 0;
   uint64_t bytes_flushed_total = 0;
+  // Epochs abandoned after exhausted I/O retries (graceful degradation): the
+  // application kept running and the dirty pages rode the next checkpoint.
+  uint64_t epochs_aborted = 0;
 
  private:
   uint64_t id_;

@@ -1,6 +1,7 @@
 #include "src/core/sls.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <set>
 
@@ -436,6 +437,41 @@ void Sls::CkptRelease(CheckpointContext* ctx) {
   sim_->tracer.EndAt(release_span, ctx->durable);
 }
 
+namespace {
+// Failures the pipeline degrades on rather than propagates: the device (or
+// link) gave up after retries, or returned provably corrupt data. Logic
+// errors (kNotFound, kBadState, ...) still propagate — aborting an epoch
+// cannot fix a bug.
+bool IsIoFailure(const Status& s) {
+  return s.code() == Errc::kIoError || s.code() == Errc::kCorrupt;
+}
+}  // namespace
+
+void Sls::CkptAbortEpoch(CheckpointContext* ctx, const Status& cause) {
+  ConsistencyGroup* group = ctx->group;
+  // The frozen shadows keep their dirty pages; unflushed_frozen is drained
+  // only by a successful commit, so appending preserves oldest-first order
+  // and nothing is lost — only this epoch's durability. Pages a partial
+  // flush already staged COW into the store simply commit with the next
+  // successful epoch. Held external sends stay held: external synchrony
+  // promises them only after a durable covering checkpoint.
+  for (ShadowPair& pair : ctx->pairs) {
+    group->unflushed_frozen.push_back(std::move(pair));
+  }
+  ctx->pairs.clear();
+  group->epochs_aborted++;
+  sim_->metrics.counter("ckpt.epochs_aborted").Add();
+  ctx->result.aborted = true;
+  ctx->result.epoch = 0;
+  auto durable = last_durable_.find(group);
+  ctx->result.durable_at = durable != last_durable_.end() ? durable->second : 0;
+  if (!abort_logged_) {
+    abort_logged_ = true;
+    std::fprintf(stderr, "sls: checkpoint epoch aborted (%s); continuing on last durable epoch\n",
+                 cause.message().c_str());
+  }
+}
+
 Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::string& name,
                                          CheckpointMode mode) {
   CheckpointContext ctx;
@@ -449,15 +485,36 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
 
   CkptCollapse(&ctx);
   CkptQuiesce(&ctx);
-  AURORA_RETURN_IF_ERROR(CkptSerialize(&ctx));
+  Status serialized = CkptSerialize(&ctx);
+  if (!serialized.ok()) {
+    // Never leave the group quiesced: even a failed serialize resumes the
+    // application. Full CkptResume would clobber last_manifest_blobs_ with
+    // the partial manifest, so only the kernel-level resume happens here.
+    kernel_->Resume(group->processes);
+    ctx.result.stop_time = sim_->clock.now() - ctx.stop_begin;
+    if (!IsIoFailure(serialized)) {
+      return serialized;
+    }
+    CkptAbortEpoch(&ctx, serialized);
+    return ctx.result;
+  }
   CkptShadow(&ctx);
   CkptResume(&ctx);
   if (mode == CheckpointMode::kMemoryOnly) {
     CkptRetainInMemory(&ctx);
     return ctx.result;
   }
-  AURORA_RETURN_IF_ERROR(CkptAsyncFlush(&ctx));
-  AURORA_RETURN_IF_ERROR(CkptCommit(&ctx));
+  Status flushed = CkptAsyncFlush(&ctx);
+  if (flushed.ok()) {
+    flushed = CkptCommit(&ctx);
+  }
+  if (!flushed.ok()) {
+    if (!IsIoFailure(flushed)) {
+      return flushed;
+    }
+    CkptAbortEpoch(&ctx, flushed);
+    return ctx.result;
+  }
   CkptRelease(&ctx);
   return ctx.result;
 }

@@ -32,6 +32,11 @@ namespace aurora {
 
 struct CheckpointResult {
   uint64_t epoch = 0;          // backend epoch this checkpoint committed as
+  // Graceful degradation: the flush/commit exhausted its I/O retries and this
+  // epoch was abandoned. The application keeps running, the previous durable
+  // epoch (durable_at) stays restorable, and the dirty pages re-flush with
+  // the next checkpoint.
+  bool aborted = false;
   SimDuration stop_time = 0;   // application pause
   SimDuration quiesce_time = 0;
   SimDuration os_serialize_time = 0;  // Table 7's "OS state" row
@@ -189,6 +194,9 @@ class Sls {
   Status CkptAsyncFlush(CheckpointContext* ctx);
   Status CkptCommit(CheckpointContext* ctx);
   void CkptRelease(CheckpointContext* ctx);
+  // Degrade-don't-die epilogue: abandons the in-flight epoch after an I/O
+  // failure, re-queueing its frozen shadows for the next checkpoint.
+  void CkptAbortEpoch(CheckpointContext* ctx, const Status& cause);
 
   // Restore pipeline stages, in order. Fallible stages run before teardown
   // where possible so early failures leave the old incarnation untouched.
@@ -227,6 +235,8 @@ class Sls {
   std::map<ConsistencyGroup*, std::map<uint64_t, std::shared_ptr<VmObject>>> snapshots_;
   std::map<ConsistencyGroup*, std::vector<uint8_t>> last_manifest_blobs_;
   std::map<ConsistencyGroup*, SimTime> last_durable_;
+  // One stderr line the first time an epoch aborts; counters track the rest.
+  bool abort_logged_ = false;
   // Completion time of an in-progress eager restore's read stream.
   std::shared_ptr<SimTime> full_restore_done_;
 

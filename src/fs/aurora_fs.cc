@@ -1,5 +1,7 @@
 #include "src/fs/aurora_fs.h"
 
+#include <cstdio>
+
 #include "src/base/serializer.h"
 
 namespace aurora {
@@ -46,7 +48,19 @@ Status AuroraFs::LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) {
   return store_->ReadAt(OidOf(vn), block_idx * fs_block_size(), out, fs_block_size());
 }
 
-void AuroraFs::ReleaseBacking(Vnode* vn) { (void)store_->DeleteObject(OidOf(vn)); }
+void AuroraFs::ReleaseBacking(Vnode* vn) {
+  Status deleted = store_->DeleteObject(OidOf(vn));
+  if (!deleted.ok() && deleted.code() != Errc::kNotFound) {
+    // Unlink already removed the vnode; a failed backing delete only leaks
+    // store blocks until the next prune. Count it, log the first one.
+    sim_->metrics.counter("fs.release_failures").Add();
+    if (!release_failure_logged_) {
+      release_failure_logged_ = true;
+      std::fprintf(stderr, "aurorafs: backing object delete failed (%s); blocks leak until prune\n",
+                   deleted.message().c_str());
+    }
+  }
+}
 
 Result<Oid> AuroraFs::PersistNamespace() {
   BinaryWriter w;
@@ -63,6 +77,8 @@ Result<Oid> AuroraFs::PersistNamespace() {
   }
   AURORA_ASSIGN_OR_RETURN(Oid ns, store_->CreateObject(ObjType::kManifest));
   AURORA_ASSIGN_OR_RETURN(SimTime done, store_->WriteAt(ns, 0, w.data().data(), w.size()));
+  // The durability time folds into the covering checkpoint's commit; the
+  // namespace blob rides the same epoch as the commit record that names it.
   (void)done;
   return ns;
 }

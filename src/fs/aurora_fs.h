@@ -43,6 +43,9 @@ class AuroraFs : public BufferedFs {
 
  private:
   ObjectStore* store_;
+  // One stderr line for the first failed backing delete; fs.release_failures
+  // counts them all.
+  bool release_failure_logged_ = false;
 };
 
 }  // namespace aurora

@@ -15,7 +15,8 @@ namespace {
 constexpr uint32_t kSuperMagic = 0x41555253;  // "AURS"
 constexpr uint32_t kMetaMagic = 0x4155524d;   // "AURM"
 constexpr uint32_t kJournalMagic = 0x4155524a;  // "AURJ"
-constexpr uint32_t kVersion = 1;
+// v2: per-extent CRC32C in the metadata blob (end-to-end block integrity).
+constexpr uint32_t kVersion = 2;
 constexpr int kSuperSlots = 8;
 constexpr size_t kSuperNameMax = 64;
 
@@ -82,7 +83,36 @@ struct JournalRecordHeader {
 }  // namespace
 
 ObjectStore::ObjectStore(BlockDevice* device, SimContext* sim, StoreOptions options)
-    : device_(device), sim_(sim), options_(options) {}
+    : device_(device), sim_(sim), options_(options),
+      retry_(IoRetryPolicy::FromCost(sim->cost)) {}
+
+// --- Device IO with bounded retry --------------------------------------------
+
+Result<SimTime> ObjectStore::DevWrite(uint32_t queue, uint64_t lba, const void* data,
+                                      uint32_t ndev) {
+  return RetryIo(sim_, retry_, [&] { return device_->WriteAsyncOn(queue, lba, data, ndev); });
+}
+
+Result<SimTime> ObjectStore::DevRead(uint32_t queue, uint64_t lba, void* out, uint32_t ndev) {
+  return RetryIo(sim_, retry_, [&] { return device_->ReadAsyncOn(queue, lba, out, ndev); });
+}
+
+Status ObjectStore::DevWriteSync(uint64_t lba, const void* data, uint32_t ndev) {
+  return RetryIo(sim_, retry_, [&] { return device_->WriteSync(lba, data, ndev); });
+}
+
+Status ObjectStore::DevReadSync(uint64_t lba, void* out, uint32_t ndev) {
+  return RetryIo(sim_, retry_, [&] { return device_->ReadSync(lba, out, ndev); });
+}
+
+Status ObjectStore::VerifyBlockCrc(const Extent& extent, const uint8_t* data) {
+  if (Crc32c(data, options_.block_size) == extent.crc) {
+    return Status::Ok();
+  }
+  sim_->metrics.counter("io.crc_errors").Add();
+  return Status::Error(Errc::kCorrupt,
+                       "store block checksum mismatch at phys " + std::to_string(extent.phys));
+}
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Format(BlockDevice* device, SimContext* sim,
                                                          StoreOptions options) {
@@ -114,9 +144,12 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(BlockDevice* device, SimC
   // Scan the superblock ring; prefer the highest epoch whose metadata blob
   // also verifies. A torn commit leaves the previous checkpoint intact.
   std::vector<Superblock> candidates;
+  IoRetryPolicy policy = IoRetryPolicy::FromCost(sim->cost);
   for (int slot = 0; slot < kSuperSlots; slot++) {
     std::vector<uint8_t> buf(device->block_size());
-    if (!device->ReadSync(static_cast<uint64_t>(slot), buf.data(), 1).ok()) {
+    if (!RetryIo(sim, policy, [&] {
+           return device->ReadSync(static_cast<uint64_t>(slot), buf.data(), 1);
+         }).ok()) {
       continue;
     }
     auto sb = Superblock::Parse(buf.data(), buf.size());
@@ -134,9 +167,9 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(BlockDevice* device, SimC
     std::vector<uint8_t> blob(sb.meta_len);
     uint64_t nblocks = (sb.meta_len + options.block_size - 1) / options.block_size;
     std::vector<uint8_t> raw(nblocks * options.block_size);
-    if (!device
-             ->ReadSync(store->DevLba(sb.meta_block), raw.data(),
-                        static_cast<uint32_t>(nblocks * store->DevBlocksPerStoreBlock()))
+    if (!store
+             ->DevReadSync(store->DevLba(sb.meta_block), raw.data(),
+                           static_cast<uint32_t>(nblocks * store->DevBlocksPerStoreBlock()))
              .ok()) {
       continue;
     }
@@ -362,25 +395,29 @@ Result<SimTime> ObjectStore::WriteAt(Oid oid, uint64_t off, const void* data, ui
 
     auto old = info.extents.find(logical);
     if (chunk < bs && old != info.extents.end()) {
-      // Partial overwrite of an existing block: COW read-modify-write.
+      // Partial overwrite of an existing block: COW read-modify-write. The
+      // CRC check keeps a silently corrupted block from being folded into
+      // the rewrite and laundered under a fresh checksum.
       AURORA_RETURN_IF_ERROR(
-          device_->ReadSync(DevLba(old->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+          DevReadSync(DevLba(old->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+      AURORA_RETURN_IF_ERROR(VerifyBlockCrc(old->second, buf.data()));
     } else {
       std::memset(buf.data(), 0, bs);
     }
     std::memcpy(buf.data() + in_block, src, chunk);
 
+    uint32_t crc = Crc32c(buf.data(), bs);
     AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
     uint32_t lane = NextFlushLane();
-    AURORA_ASSIGN_OR_RETURN(SimTime wdone, device_->WriteAsyncOn(lane, DevLba(phys), buf.data(),
-                                                                 DevBlocksPerStoreBlock()));
+    AURORA_ASSIGN_OR_RETURN(
+        SimTime wdone, DevWrite(lane, DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
 
     if (old != info.extents.end()) {
       KillBlock(old->second.phys, old->second.birth);
-      old->second = Extent{phys, epoch_};
+      old->second = Extent{phys, epoch_, crc};
     } else {
-      info.extents[logical] = Extent{phys, epoch_};
+      info.extents[logical] = Extent{phys, epoch_, crc};
     }
     pos += chunk;
     src += chunk;
@@ -437,11 +474,12 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
     if (old != info.extents.end() && covered < bs) {
       // Asynchronous RMW read: data is host-resident; the device time folds
       // into this block's write completion rather than stalling the caller.
-      auto rdone = device_->ReadAsyncOn(lane, DevLba(old->second.phys), buf.data(),
-                                        DevBlocksPerStoreBlock());
+      auto rdone =
+          DevRead(lane, DevLba(old->second.phys), buf.data(), DevBlocksPerStoreBlock());
       if (!rdone.ok()) {
         return rdone.status();
       }
+      AURORA_RETURN_IF_ERROR(VerifyBlockCrc(old->second, buf.data()));
       done = std::max(done, *rdone);
       lane_bytes += bs;
       sim_->metrics.counter("store.rmw_folds").Add();
@@ -452,17 +490,18 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
       std::memcpy(buf.data() + (r.off % bs), r.data, r.len);
       sim_->metrics.counter("store.bytes_written").Add(r.len);
     }
+    uint32_t crc = Crc32c(buf.data(), bs);
     AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
-    AURORA_ASSIGN_OR_RETURN(SimTime wdone, device_->WriteAsyncOn(lane, DevLba(phys), buf.data(),
-                                                                 DevBlocksPerStoreBlock()));
+    AURORA_ASSIGN_OR_RETURN(
+        SimTime wdone, DevWrite(lane, DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
     lane_bytes += bs;
     RecordLaneIo(lane, lane_bytes, wdone);
     if (old != info.extents.end()) {
       KillBlock(old->second.phys, old->second.birth);
-      old->second = Extent{phys, epoch_};
+      old->second = Extent{phys, epoch_, crc};
     } else {
-      info.extents[logical] = Extent{phys, epoch_};
+      info.extents[logical] = Extent{phys, epoch_, crc};
     }
   }
   info.size = std::max(info.size, max_end);
@@ -490,7 +529,8 @@ Status ObjectStore::ReadAt(Oid oid, uint64_t off, void* out, uint64_t len) {
       std::memset(dst, 0, chunk);
     } else {
       AURORA_RETURN_IF_ERROR(
-          device_->ReadSync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+          DevReadSync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+      AURORA_RETURN_IF_ERROR(VerifyBlockCrc(ext->second, buf.data()));
       std::memcpy(dst, buf.data() + in_block, chunk);
     }
     pos += chunk;
@@ -522,6 +562,7 @@ std::vector<uint8_t> ObjectStore::SerializeMeta() const {
       w.PutU64(logical);
       w.PutU64(extent.phys);
       w.PutU64(extent.birth);
+      w.PutU32(extent.crc);
     }
   }
 
@@ -591,6 +632,7 @@ Status ObjectStore::DeserializeMeta(const std::vector<uint8_t>& blob) {
       Extent extent;
       AURORA_ASSIGN_OR_RETURN(extent.phys, r.U64());
       AURORA_ASSIGN_OR_RETURN(extent.birth, r.U64());
+      AURORA_ASSIGN_OR_RETURN(extent.crc, r.U32());
       info.extents[logical] = extent;
     }
     objects_[Oid{oid}] = std::move(info);
@@ -643,7 +685,7 @@ Status ObjectStore::WriteSuperblock(uint64_t meta_block, uint64_t meta_len, SimT
   std::vector<uint8_t> raw = sb.Serialize();
   raw.resize(device_->block_size(), 0);
   uint64_t slot = epoch_ % kSuperSlots;
-  AURORA_ASSIGN_OR_RETURN(SimTime t, device_->WriteAsync(slot, raw.data(), 1));
+  AURORA_ASSIGN_OR_RETURN(SimTime t, DevWrite(0, slot, raw.data(), 1));
   *done = t;
   return Status::Ok();
 }
@@ -670,14 +712,28 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
 
   std::vector<uint8_t> padded(nblocks * options_.block_size, 0);
   std::memcpy(padded.data(), blob.data(), blob.size());
-  AURORA_ASSIGN_OR_RETURN(
-      SimTime meta_done,
-      device_->WriteAsync(DevLba(meta_block), padded.data(),
-                          static_cast<uint32_t>(nblocks * DevBlocksPerStoreBlock())));
+  auto meta_wrote = DevWrite(0, DevLba(meta_block), padded.data(),
+                             static_cast<uint32_t>(nblocks * DevBlocksPerStoreBlock()));
+  if (!meta_wrote.ok()) {
+    // A failed commit leaves the epoch open for another attempt; it must not
+    // leak its metadata blocks or record a checkpoint nobody can read.
+    for (uint64_t b = 0; b < nblocks; b++) {
+      FreeBlock(meta_block + b);
+    }
+    return meta_wrote.status();
+  }
+  SimTime meta_done = *meta_wrote;
 
   checkpoints_.push_back(record);
   SimTime super_done = 0;
-  AURORA_RETURN_IF_ERROR(WriteSuperblock(meta_block, blob.size(), &super_done));
+  Status super = WriteSuperblock(meta_block, blob.size(), &super_done);
+  if (!super.ok()) {
+    checkpoints_.pop_back();
+    for (uint64_t b = 0; b < nblocks; b++) {
+      FreeBlock(meta_block + b);
+    }
+    return super;
+  }
 
   SimTime done = std::max({meta_done, super_done, last_data_write_done_});
   epoch_++;
@@ -744,8 +800,8 @@ Result<const ObjectStore::ObjectInfo*> ObjectStore::LoadEpochTable(uint64_t epoc
     uint64_t nblocks = (record->meta_len + options_.block_size - 1) / options_.block_size;
     std::vector<uint8_t> raw(nblocks * options_.block_size);
     AURORA_RETURN_IF_ERROR(
-        device_->ReadSync(DevLba(record->meta_block), raw.data(),
-                          static_cast<uint32_t>(nblocks * DevBlocksPerStoreBlock())));
+        DevReadSync(DevLba(record->meta_block), raw.data(),
+                    static_cast<uint32_t>(nblocks * DevBlocksPerStoreBlock())));
     std::vector<uint8_t> blob(raw.begin(), raw.begin() + static_cast<long>(record->meta_len));
     // Parse into a scratch store object so the live table is untouched.
     ObjectStore scratch(device_, sim_, options_);
@@ -779,13 +835,15 @@ Status ObjectStore::ReadAtEpoch(uint64_t epoch, Oid oid, uint64_t off, void* out
       // Streaming restore: reads pipeline, and with flush lanes configured
       // they also fan out over the device submission queues.
       AURORA_ASSIGN_OR_RETURN(
-          SimTime t, device_->ReadAsyncOn(NextFlushLane(), DevLba(ext->second.phys), buf.data(),
-                                          DevBlocksPerStoreBlock()));
+          SimTime t, DevRead(NextFlushLane(), DevLba(ext->second.phys), buf.data(),
+                             DevBlocksPerStoreBlock()));
+      AURORA_RETURN_IF_ERROR(VerifyBlockCrc(ext->second, buf.data()));
       done = std::max(done, t);
       std::memcpy(dst, buf.data() + in_block, chunk);
     } else {
       AURORA_RETURN_IF_ERROR(
-          device_->ReadSync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+          DevReadSync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+      AURORA_RETURN_IF_ERROR(VerifyBlockCrc(ext->second, buf.data()));
       std::memcpy(dst, buf.data() + in_block, chunk);
     }
     pos += chunk;
@@ -913,7 +971,7 @@ Result<Oid> ObjectStore::CreateJournal(uint64_t capacity_bytes) {
   info.journal_write_off = dev_bs;  // record area starts after the header
   // Persist the initial generation.
   auto header = MakeJournalHeader(info.journal_gen, dev_bs);
-  AURORA_RETURN_IF_ERROR(device_->WriteSync(DevLba(start), header.data(), 1));
+  AURORA_RETURN_IF_ERROR(DevWriteSync(DevLba(start), header.data(), 1));
   objects_[oid] = std::move(info);
   return oid;
 }
@@ -947,7 +1005,7 @@ Status ObjectStore::JournalAppend(Oid oid, const void* data, uint64_t len) {
   // Synchronous in-place write: this is the 28 us path of section 7. The
   // caller blocks for the full command, so there is no cross-device
   // pipelining; charge the calibrated synchronous rate.
-  auto submitted = device_->WriteAsync(lba, buf.data(), static_cast<uint32_t>(padded / dev_bs));
+  auto submitted = DevWrite(0, lba, buf.data(), static_cast<uint32_t>(padded / dev_bs));
   if (!submitted.ok()) {
     return submitted.status();
   }
@@ -971,7 +1029,7 @@ Status ObjectStore::JournalReset(Oid oid) {
   // be acknowledged; otherwise a crash could replay stale records or lose
   // acknowledged ones.
   auto header = MakeJournalHeader(info.journal_gen, device_->block_size());
-  AURORA_RETURN_IF_ERROR(device_->WriteSync(DevLba(info.journal_start), header.data(), 1));
+  AURORA_RETURN_IF_ERROR(DevWriteSync(DevLba(info.journal_start), header.data(), 1));
   info.journal_write_off = device_->block_size();
   info.journal_next_seq = 0;
   return Status::Ok();
@@ -989,7 +1047,7 @@ Result<std::vector<std::vector<uint8_t>>> ObjectStore::JournalReplay(Oid oid) {
   // The DURABLE generation comes from the header block, not the (possibly
   // stale) checkpointed metadata.
   std::vector<uint8_t> hdr(dev_bs);
-  AURORA_RETURN_IF_ERROR(device_->ReadSync(DevLba(info.journal_start), hdr.data(), 1));
+  AURORA_RETURN_IF_ERROR(DevReadSync(DevLba(info.journal_start), hdr.data(), 1));
   uint64_t durable_gen = info.journal_gen;
   if (auto parsed = ParseJournalHeader(hdr); parsed.ok()) {
     durable_gen = *parsed;
@@ -999,7 +1057,7 @@ Result<std::vector<std::vector<uint8_t>>> ObjectStore::JournalReplay(Oid oid) {
   std::vector<uint8_t> head(dev_bs);
   while (off + dev_bs <= capacity) {
     uint64_t lba = DevLba(info.journal_start) + off / dev_bs;
-    AURORA_RETURN_IF_ERROR(device_->ReadSync(lba, head.data(), 1));
+    AURORA_RETURN_IF_ERROR(DevReadSync(lba, head.data(), 1));
     BinaryReader r(head.data(), head.size());
     auto magic = r.U32();
     auto gen = r.U64();
@@ -1017,7 +1075,7 @@ Result<std::vector<std::vector<uint8_t>>> ObjectStore::JournalReplay(Oid oid) {
     }
     std::vector<uint8_t> full(padded);
     AURORA_RETURN_IF_ERROR(
-        device_->ReadSync(lba, full.data(), static_cast<uint32_t>(padded / dev_bs)));
+        DevReadSync(lba, full.data(), static_cast<uint32_t>(padded / dev_bs)));
     std::vector<uint8_t> payload(full.begin() + JournalRecordHeader::kSize,
                                  full.begin() + static_cast<long>(record_len));
     if (Crc32c(payload.data(), payload.size()) != *crc) {
@@ -1038,7 +1096,7 @@ Status ObjectStore::RecoverJournalOffsets() {
     const uint32_t dev_bs = device_->block_size();
     // Adopt the durable generation from the header.
     std::vector<uint8_t> hdr(dev_bs);
-    AURORA_RETURN_IF_ERROR(device_->ReadSync(DevLba(info.journal_start), hdr.data(), 1));
+    AURORA_RETURN_IF_ERROR(DevReadSync(DevLba(info.journal_start), hdr.data(), 1));
     if (auto parsed = ParseJournalHeader(hdr); parsed.ok()) {
       info.journal_gen = *parsed;
     }

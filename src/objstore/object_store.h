@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/io_retry.h"
 #include "src/base/result.h"
 #include "src/base/sim_context.h"
 #include "src/objstore/oid.h"
@@ -145,9 +146,12 @@ class ObjectStore {
   SimContext* sim() { return sim_; }
 
  private:
+  friend class Scrubber;
+
   struct Extent {
     uint64_t phys = 0;   // store-block number
     uint64_t birth = 0;  // epoch that wrote it
+    uint32_t crc = 0;    // CRC32C of the full store block's contents
   };
   struct ObjectInfo {
     ObjType type = ObjType::kPosixRecord;
@@ -187,6 +191,17 @@ class ObjectStore {
   bool BitGet(uint64_t block) const;
   void BitSet(uint64_t block, bool v);
 
+  // All device IO funnels through these wrappers so transient faults are
+  // retried with the shared bounded policy; hard errors (kCorrupt, bounds)
+  // pass through untouched. Offsets are device LBAs / device blocks.
+  Result<SimTime> DevWrite(uint32_t queue, uint64_t lba, const void* data, uint32_t ndev);
+  Result<SimTime> DevRead(uint32_t queue, uint64_t lba, void* out, uint32_t ndev);
+  Status DevWriteSync(uint64_t lba, const void* data, uint32_t ndev);
+  Status DevReadSync(uint64_t lba, void* out, uint32_t ndev);
+  // End-to-end integrity: checks a full store block just read against the
+  // CRC recorded when its extent was written. kCorrupt on mismatch.
+  Status VerifyBlockCrc(const Extent& extent, const uint8_t* data);
+
   std::vector<uint8_t> SerializeMeta() const;
   Status DeserializeMeta(const std::vector<uint8_t>& blob);
   Status WriteSuperblock(uint64_t meta_block, uint64_t meta_len, SimTime* done);
@@ -202,6 +217,7 @@ class ObjectStore {
   BlockDevice* device_;
   SimContext* sim_;
   StoreOptions options_;
+  IoRetryPolicy retry_;
 
   uint64_t epoch_ = 1;  // current, uncommitted epoch
   uint64_t next_oid_ = 1;

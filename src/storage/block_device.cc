@@ -28,7 +28,7 @@ MemBlockDevice::MemBlockDevice(SimClock* clock, uint64_t block_count, uint32_t b
     : clock_(clock), block_count_(block_count), block_size_(block_size), profile_(profile) {}
 
 SimTime MemBlockDevice::CompleteIo(uint32_t queue, uint64_t bytes, SimDuration latency,
-                                   double bw) {
+                                   double bw, double stretch) {
   SimTime& free_at = queue_free_[queue % queue_free_.size()];
   SimTime start = std::max(clock_->now(), free_at);
   if (metrics_ != nullptr) {
@@ -36,7 +36,8 @@ SimTime MemBlockDevice::CompleteIo(uint32_t queue, uint64_t bytes, SimDuration l
     // before its submission queue became free. Zero when the queue was idle.
     metrics_->histogram("device.queue_delay").Record(start - clock_->now());
   }
-  auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) / bw);
+  auto transfer =
+      static_cast<SimDuration>(static_cast<double>(bytes) / bw * stretch);
   SimTime queue_done = start + transfer + profile_.command_overhead;
   if (profile_.channel_bytes_per_ns > 0) {
     // Every transfer also occupies the shared media channel. With a single
@@ -45,7 +46,7 @@ SimTime MemBlockDevice::CompleteIo(uint32_t queue, uint64_t bytes, SimDuration l
     // ceiling that makes lane scaling flatten out.
     channel_busy_ = std::max(channel_busy_, start) +
                     static_cast<SimDuration>(static_cast<double>(bytes) /
-                                             profile_.channel_bytes_per_ns);
+                                             profile_.channel_bytes_per_ns * stretch);
     queue_done = std::max(queue_done, channel_busy_);
   }
   free_at = queue_done;
@@ -79,6 +80,16 @@ Result<SimTime> MemBlockDevice::WriteAsyncOn(uint32_t queue, uint64_t lba, const
   if (lba + nblocks > block_count_) {
     return Status::Error(Errc::kOutOfRange, "write past end of device");
   }
+  double stretch = 1.0;
+  if (injector_ != nullptr) {
+    // Transient write failure is checked before any bytes move: the command
+    // never reached the media, so neither the crash fuse nor the stored
+    // blocks advance. A retry resubmits the identical write.
+    if (injector_->FailWrite(lba, nblocks)) {
+      return Status::Error(Errc::kIoError, "injected transient write error");
+    }
+    stretch = injector_->TailStretch(lba, nblocks);
+  }
   const auto* src = static_cast<const uint8_t*>(data);
   for (uint32_t i = 0; i < nblocks; i++) {
     if (crashed_) {
@@ -103,6 +114,11 @@ Result<SimTime> MemBlockDevice::WriteAsyncOn(uint32_t queue, uint64_t lba, const
     blk.resize(block_size_);
     std::memcpy(blk.data(), src + static_cast<size_t>(i) * block_size_, block_size_);
     stats_.writes++;
+    if (injector_ != nullptr) {
+      // Media effects apply only to blocks that fully landed (torn/dropped
+      // crash writes are already their own fault).
+      injector_->OnBlockWritten(lba + i, blk.data(), block_size_);
+    }
   }
   stats_.bytes_written += static_cast<uint64_t>(nblocks) * block_size_;
   if (metrics_ != nullptr) {
@@ -110,7 +126,7 @@ Result<SimTime> MemBlockDevice::WriteAsyncOn(uint32_t queue, uint64_t lba, const
     metrics_->counter("device.bytes_written").Add(static_cast<uint64_t>(nblocks) * block_size_);
   }
   return CompleteIo(queue, static_cast<uint64_t>(nblocks) * block_size_, profile_.write_latency,
-                    profile_.write_bytes_per_ns);
+                    profile_.write_bytes_per_ns, stretch);
 }
 
 Result<SimTime> MemBlockDevice::ReadAsync(uint64_t lba, void* out, uint32_t nblocks) {
@@ -121,6 +137,20 @@ Result<SimTime> MemBlockDevice::ReadAsyncOn(uint32_t queue, uint64_t lba, void* 
                                             uint32_t nblocks) {
   if (lba + nblocks > block_count_) {
     return Status::Error(Errc::kOutOfRange, "read past end of device");
+  }
+  double stretch = 1.0;
+  if (injector_ != nullptr) {
+    if (injector_->FailRead(lba, nblocks)) {
+      return Status::Error(Errc::kIoError, "injected transient read error");
+    }
+    if (injector_->LatentHit(lba, nblocks)) {
+      // Sticky: the same range keeps failing until rewritten, so retrying
+      // exhausts the budget and surfaces a hard error upstream.
+      return Status::Error(Errc::kIoError, "latent sector error");
+    }
+    stretch = injector_->TailStretch(lba, nblocks);
+    // Silently corrupted blocks need no handling here: the flipped bits were
+    // stored at write time and are returned below as if they were genuine.
   }
   auto* dst = static_cast<uint8_t*>(out);
   for (uint32_t i = 0; i < nblocks; i++) {
@@ -138,7 +168,12 @@ Result<SimTime> MemBlockDevice::ReadAsyncOn(uint32_t queue, uint64_t lba, void* 
     metrics_->counter("device.bytes_read").Add(static_cast<uint64_t>(nblocks) * block_size_);
   }
   return CompleteIo(queue, static_cast<uint64_t>(nblocks) * block_size_, profile_.read_latency,
-                    profile_.read_bytes_per_ns);
+                    profile_.read_bytes_per_ns, stretch);
+}
+
+void MemBlockDevice::InstallFaults(uint64_t seed, const std::vector<FaultRule>& rules) {
+  injector_ = std::make_unique<FaultInjector>(seed, rules);
+  injector_->set_metrics(metrics_);
 }
 
 StripedDevice::StripedDevice(std::vector<std::unique_ptr<BlockDevice>> children,
@@ -214,6 +249,21 @@ Result<SimTime> StripedDevice::ReadAsyncOn(uint32_t queue, uint64_t lba, void* o
 void StripedDevice::SetQueueCount(uint32_t queues) {
   for (auto& c : children_) {
     c->SetQueueCount(queues);
+  }
+}
+
+void StripedDevice::InstallFaults(uint64_t seed, const std::vector<FaultRule>& rules) {
+  // Each child applies the rules in its own LBA space (rule ranges on a
+  // striped device are per-child, not logical); decorrelated seeds keep one
+  // logical IO stream from drawing identical fates on every device.
+  for (size_t i = 0; i < children_.size(); i++) {
+    children_[i]->InstallFaults(seed + 0x9e3779b97f4a7c15ull * (i + 1), rules);
+  }
+}
+
+void StripedDevice::ClearFaults() {
+  for (auto& c : children_) {
+    c->ClearFaults();
   }
 }
 

@@ -23,6 +23,7 @@
 #include "src/base/sim_clock.h"
 #include "src/base/units.h"
 #include "src/obs/metrics.h"
+#include "src/storage/fault_injector.h"
 
 namespace aurora {
 
@@ -83,6 +84,21 @@ class BlockDevice {
   Status WriteSync(uint64_t lba, const void* data, uint32_t nblocks);
   Status ReadSync(uint64_t lba, void* out, uint32_t nblocks);
 
+  // Attaches a deterministic fault-injection profile (see fault_injector.h),
+  // replacing any previous one. Striped devices fan the rules out to every
+  // child with per-child decorrelated seeds. Devices without fault modeling
+  // ignore the call.
+  virtual void InstallFaults(uint64_t seed, const std::vector<FaultRule>& rules) {
+    (void)seed;
+    (void)rules;
+  }
+  // Removes any installed injector, including its sticky latent marks
+  // (models swapping in healthy media).
+  virtual void ClearFaults() {}
+  // The device's own injector, or nullptr when none is installed (composite
+  // devices expose their children's injectors instead).
+  virtual FaultInjector* fault_injector() { return nullptr; }
+
   virtual SimClock* clock() = 0;
   // Snapshot of the device counters. Returned by value: striped devices
   // merge their children on demand, and a reference would be silently
@@ -109,9 +125,18 @@ class MemBlockDevice : public BlockDevice {
   SimClock* clock() override { return clock_; }
   DeviceStats stats() const override { return stats_; }
 
+  void InstallFaults(uint64_t seed, const std::vector<FaultRule>& rules) override;
+  void ClearFaults() override { injector_.reset(); }
+  FaultInjector* fault_injector() override { return injector_.get(); }
+
   // Mirrors per-IO counters and channel-queue delay histograms into the
   // machine-wide registry ("device.*" namespace).
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_metrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (injector_) {
+      injector_->set_metrics(metrics);
+    }
+  }
 
   // Crash injection: after `n` further block writes succeed, the next write
   // is torn (only its first half is applied) and all subsequent writes are
@@ -132,7 +157,10 @@ class MemBlockDevice : public BlockDevice {
   size_t ResidentBlocks() const { return blocks_.size(); }
 
  private:
-  SimTime CompleteIo(uint32_t queue, uint64_t bytes, SimDuration latency, double bw);
+  // `stretch` multiplies the transfer time (tail-latency injection); the
+  // exact 1.0 of the no-fault path leaves the timeline bit-identical.
+  SimTime CompleteIo(uint32_t queue, uint64_t bytes, SimDuration latency, double bw,
+                     double stretch = 1.0);
 
   SimClock* clock_;
   uint64_t block_count_;
@@ -140,6 +168,7 @@ class MemBlockDevice : public BlockDevice {
   DeviceProfile profile_;
   DeviceStats stats_;
   MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<FaultInjector> injector_;
   // Per-submission-queue timelines: when each queue is free for its next
   // transfer. One queue by default, which is the historical serial model.
   std::vector<SimTime> queue_free_{0};
@@ -172,6 +201,13 @@ class StripedDevice : public BlockDevice {
 
   SimClock* clock() override { return children_[0]->clock(); }
   DeviceStats stats() const override;
+
+  void InstallFaults(uint64_t seed, const std::vector<FaultRule>& rules) override;
+  void ClearFaults() override;
+
+  // Children, for tests that inspect per-child injectors.
+  size_t child_count() const { return children_.size(); }
+  BlockDevice* child(size_t i) { return children_[i].get(); }
 
  private:
   // Maps a logical block to (child index, child lba).

@@ -1,0 +1,90 @@
+#include "src/storage/fault_injector.h"
+
+namespace aurora {
+
+const FaultRule* FaultInjector::Match(uint64_t lba, uint32_t nblocks,
+                                      double FaultRule::*rate) const {
+  uint64_t last = lba + (nblocks ? nblocks - 1 : 0);
+  for (const FaultRule& rule : rules_) {
+    if (rule.*rate > 0.0 && lba <= rule.lba_max && last >= rule.lba_min) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::FailWrite(uint64_t lba, uint32_t nblocks) {
+  const FaultRule* rule = Match(lba, nblocks, &FaultRule::write_error_rate);
+  if (rule == nullptr || !rng_.NextBool(rule->write_error_rate)) {
+    return false;
+  }
+  stats_.write_errors++;
+  if (metrics_) {
+    metrics_->counter("device.faults.write_errors").Add();
+  }
+  return true;
+}
+
+bool FaultInjector::FailRead(uint64_t lba, uint32_t nblocks) {
+  const FaultRule* rule = Match(lba, nblocks, &FaultRule::read_error_rate);
+  if (rule == nullptr || !rng_.NextBool(rule->read_error_rate)) {
+    return false;
+  }
+  stats_.read_errors++;
+  if (metrics_) {
+    metrics_->counter("device.faults.read_errors").Add();
+  }
+  return true;
+}
+
+double FaultInjector::TailStretch(uint64_t lba, uint32_t nblocks) {
+  const FaultRule* rule = Match(lba, nblocks, &FaultRule::tail_latency_rate);
+  if (rule == nullptr || !rng_.NextBool(rule->tail_latency_rate)) {
+    return 1.0;
+  }
+  stats_.tail_delays++;
+  if (metrics_) {
+    metrics_->counter("device.faults.tail_delays").Add();
+  }
+  return rule->tail_latency_multiplier;
+}
+
+bool FaultInjector::LatentHit(uint64_t lba, uint32_t nblocks) {
+  if (latent_.empty()) {
+    return false;
+  }
+  auto it = latent_.lower_bound(lba);
+  if (it == latent_.end() || *it >= lba + nblocks) {
+    return false;
+  }
+  stats_.latent_hits++;
+  if (metrics_) {
+    metrics_->counter("device.faults.latent_hits").Add();
+  }
+  return true;
+}
+
+void FaultInjector::OnBlockWritten(uint64_t lba, uint8_t* block, uint32_t block_size) {
+  latent_.erase(lba);
+  corrupted_.erase(lba);
+  const FaultRule* latent_rule = Match(lba, 1, &FaultRule::latent_sector_rate);
+  if (latent_rule != nullptr && rng_.NextBool(latent_rule->latent_sector_rate)) {
+    latent_.insert(lba);
+    stats_.latent_marks++;
+    if (metrics_) {
+      metrics_->counter("device.faults.latent_marks").Add();
+    }
+  }
+  const FaultRule* flip_rule = Match(lba, 1, &FaultRule::bit_flip_rate);
+  if (flip_rule != nullptr && rng_.NextBool(flip_rule->bit_flip_rate)) {
+    uint64_t bit = rng_.Below(static_cast<uint64_t>(block_size) * 8);
+    block[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    corrupted_.insert(lba);
+    stats_.bit_flips++;
+    if (metrics_) {
+      metrics_->counter("device.faults.bit_flips").Add();
+    }
+  }
+}
+
+}  // namespace aurora

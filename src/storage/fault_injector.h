@@ -1,0 +1,105 @@
+// Seeded, deterministic device fault injection.
+//
+// Real NVMe devices misbehave in richer ways than dying: commands time out
+// (transient EIO), sectors rot and keep failing reads until rewritten
+// (latent sector errors), media silently flips bits that only an end-to-end
+// checksum catches, and a busy die stretches one IO's tail latency. The
+// FaultInjector models all four, per LBA range, driven by a single RNG seed
+// so any observed failure schedule replays exactly.
+//
+// Determinism contract: the injector consumes randomness only in device IO
+// submission order — at most one draw per fault category per IO, plus a
+// fixed draw pattern per block written (latent draw, flip draw, and a bit
+// index only when the flip fires). The same seed plus the same IO sequence
+// therefore yields the same fault schedule, byte-for-byte. Rules with a
+// zero rate draw nothing, so an attached all-zero profile is behaviorally
+// and timing-wise identical to no injector at all.
+//
+// The injector composes with MemBlockDevice's crash fuse: transient write
+// failures are checked before any bytes land (the command never reached the
+// media), while latent marks and bit flips apply to bytes that did land.
+#ifndef SRC_STORAGE_FAULT_INJECTOR_H_
+#define SRC_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/obs/metrics.h"
+
+namespace aurora {
+
+// One fault policy over an inclusive device-LBA range. The first rule whose
+// range overlaps an IO *and* has a non-zero rate for the category decides
+// that category; later rules never stack on the same IO.
+struct FaultRule {
+  uint64_t lba_min = 0;
+  uint64_t lba_max = ~0ull;         // inclusive
+  double read_error_rate = 0.0;     // P(transient EIO) per read command
+  double write_error_rate = 0.0;    // P(transient EIO) per write command
+  double bit_flip_rate = 0.0;       // P(silent single-bit flip) per block written
+  double latent_sector_rate = 0.0;  // P(block becomes sticky-unreadable) per block written
+  double tail_latency_rate = 0.0;   // P(transfer time stretched) per command
+  double tail_latency_multiplier = 8.0;
+};
+
+struct FaultStats {
+  uint64_t read_errors = 0;   // transient read EIOs injected
+  uint64_t write_errors = 0;  // transient write EIOs injected
+  uint64_t bit_flips = 0;     // blocks silently corrupted
+  uint64_t latent_marks = 0;  // blocks marked sticky-unreadable
+  uint64_t latent_hits = 0;   // reads that hit a latent sector
+  uint64_t tail_delays = 0;   // commands with stretched transfer time
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(uint64_t seed, std::vector<FaultRule> rules)
+      : rules_(std::move(rules)), rng_(seed) {}
+
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Per-command decisions, consumed in submission order. Each returns
+  // whether the fault fires and draws at most once.
+  bool FailWrite(uint64_t lba, uint32_t nblocks);
+  bool FailRead(uint64_t lba, uint32_t nblocks);
+  // Transfer-time stretch for this command (1.0 = none). Multiplying by the
+  // exact 1.0 returned on the no-fault path cannot perturb the timeline.
+  double TailStretch(uint64_t lba, uint32_t nblocks);
+
+  // Sticky latent-sector check for a read command. Consumes no randomness:
+  // latency of the *decision* is zero and stickiness is the whole point —
+  // the same LBA keeps failing until rewritten.
+  bool LatentHit(uint64_t lba, uint32_t nblocks);
+
+  // Media effects for one block whose bytes just landed. A rewrite clears
+  // any latent mark or recorded corruption for the LBA (fresh data, fresh
+  // cells), then the block may be marked latent and/or have one bit flipped
+  // in place.
+  void OnBlockWritten(uint64_t lba, uint8_t* block, uint32_t block_size);
+
+  // Test hook: force a latent sector without spending a random draw.
+  void AddLatentSector(uint64_t lba) { latent_.insert(lba); }
+
+  // Introspection for tests: device LBAs whose stored bytes currently
+  // differ from what the writer intended / that fail reads.
+  const std::set<uint64_t>& corrupted_lbas() const { return corrupted_; }
+  const std::set<uint64_t>& latent_lbas() const { return latent_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  // First rule overlapping [lba, lba+nblocks) with `rate` > 0, or nullptr.
+  const FaultRule* Match(uint64_t lba, uint32_t nblocks, double FaultRule::*rate) const;
+
+  std::vector<FaultRule> rules_;
+  Rng rng_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::set<uint64_t> latent_;
+  std::set<uint64_t> corrupted_;
+  FaultStats stats_;
+};
+
+}  // namespace aurora
+
+#endif  // SRC_STORAGE_FAULT_INJECTOR_H_

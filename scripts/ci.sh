@@ -23,6 +23,11 @@ for preset in default asan; do
   # abort): run it by name too.
   "${build_dir}/tests/fault_matrix_test" >/dev/null
 
+  # Error-propagation / determinism / hygiene gate: the tree must lint clean
+  # and the linter must prove its own rules still fire on the fixtures.
+  "${build_dir}/tools/aurora_lint/aurora_lint" src tools
+  "${build_dir}/tests/lint_test" >/dev/null
+
   # The ablation bench must keep exporting the per-lane flush metrics and
   # the fault-handling counters; a BENCH json without them means the lane
   # accounting or the retry/abort instrumentation regressed.
@@ -35,3 +40,14 @@ for preset in default asan; do
     fi
   done
 done
+
+# Best-effort clang-tidy pass over src/ using the curated .clang-tidy profile.
+# The container image does not ship clang-tidy, so its absence is not a
+# failure — but when present, findings are.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (best effort) ==="
+  mapfile -t tidy_files < <(find src tools -name '*.cc' | sort)
+  clang-tidy -p build --quiet "${tidy_files[@]}"
+else
+  echo "=== clang-tidy not found; skipping best-effort tidy pass ==="
+fi

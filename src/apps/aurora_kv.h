@@ -44,17 +44,16 @@ class AuroraKv {
   // Recovery path: reattach to a *restored* process whose arenas are already
   // mapped (at the addresses reported by arena_addr()/node_addr()) and whose
   // journal already exists. Rebuilds the index and replays the journal.
-  static Result<std::unique_ptr<AuroraKv>> Reattach(Sls* sls, ConsistencyGroup* group,
-                                                    Process* proc, AuroraKvOptions options,
-                                                    uint64_t arena_addr, uint64_t node_addr,
-                                                    Oid journal);
+  [[nodiscard]] static Result<std::unique_ptr<AuroraKv>> Reattach(
+      Sls* sls, ConsistencyGroup* group, Process* proc, AuroraKvOptions options,
+      uint64_t arena_addr, uint64_t node_addr, Oid journal);
 
-  Status Put(std::string_view key, std::string_view value);
-  Result<std::optional<std::string>> Get(std::string_view key);
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value);
+  [[nodiscard]] Result<std::optional<std::string>> Get(std::string_view key);
 
   // Post-restore fixup: rebuild the memtable index from the restored arena,
   // then replay journal records newer than the checkpoint.
-  Status Recover(Process* restored_proc);
+  [[nodiscard]] Status Recover(Process* restored_proc);
 
   const AuroraKvStats& stats() const { return stats_; }
   MemTable& memtable() { return *memtable_; }
@@ -64,7 +63,7 @@ class AuroraKv {
 
  private:
   AuroraKv() = default;
-  Status AppendToJournal(std::string_view key, std::string_view value);
+  [[nodiscard]] Status AppendToJournal(std::string_view key, std::string_view value);
 
   Sls* sls_ = nullptr;
   ConsistencyGroup* group_ = nullptr;

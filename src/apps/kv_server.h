@@ -34,11 +34,11 @@ class KvServer {
 
   // Executes one operation's memory traffic and CPU work against the
   // simulated clock; returns the elapsed service time.
-  Result<SimDuration> ExecuteGet(uint64_t key);
-  Result<SimDuration> ExecuteSet(uint64_t key, uint8_t fill);
+  [[nodiscard]] Result<SimDuration> ExecuteGet(uint64_t key);
+  [[nodiscard]] Result<SimDuration> ExecuteSet(uint64_t key, uint8_t fill);
 
   // Pre-faults the working set like a warmed server.
-  Status Warmup();
+  [[nodiscard]] Status Warmup();
 
  private:
   uint64_t BucketAddr(uint64_t key) const;

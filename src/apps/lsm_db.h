@@ -56,14 +56,14 @@ class LsmDb {
 
   Process* process() { return proc_; }
 
-  Status Put(std::string_view key, std::string_view value);
-  Result<std::optional<std::string>> Get(std::string_view key);
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value);
+  [[nodiscard]] Result<std::optional<std::string>> Get(std::string_view key);
   // Range scan of up to `limit` entries starting at `start` (Prefix_dist's
   // seek operation). Returns the number of entries visited.
-  Result<uint64_t> Seek(std::string_view start, uint64_t limit);
+  [[nodiscard]] Result<uint64_t> Seek(std::string_view start, uint64_t limit);
 
   // Crash recovery: replay the WAL into a fresh memtable.
-  Status Recover();
+  [[nodiscard]] Status Recover();
 
   const LsmStats& stats() const { return stats_; }
   uint64_t memtable_bytes() const { return memtable_->bytes_used(); }
@@ -75,10 +75,10 @@ class LsmDb {
     std::unique_ptr<SstableReader> reader;
   };
 
-  Status WalAppend(std::string_view key, std::string_view value);
-  Status FlushMemTable();
-  Status MaybeCompact();
-  Status CompactLevel(size_t level);
+  [[nodiscard]] Status WalAppend(std::string_view key, std::string_view value);
+  [[nodiscard]] Status FlushMemTable();
+  [[nodiscard]] Status MaybeCompact();
+  [[nodiscard]] Status CompactLevel(size_t level);
   uint64_t LevelBytes(size_t level) const;
 
   SimContext* sim_;

@@ -33,11 +33,11 @@ class MemTable {
     node_bytes_ = node_bytes;
   }
 
-  Status Put(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value);
   std::optional<std::string> Get(std::string_view key);
   // Ordered iteration for flush/compaction.
   const std::map<std::string, std::pair<uint64_t, uint32_t>>& index() const { return index_; }
-  Result<std::string> ReadValueAt(uint64_t value_off, uint32_t value_len);
+  [[nodiscard]] Result<std::string> ReadValueAt(uint64_t value_off, uint32_t value_len);
 
   uint64_t bytes_used() const { return write_off_; }
   uint64_t capacity() const { return arena_bytes_; }
@@ -49,10 +49,10 @@ class MemTable {
   // Discards all entries (after a flush) — the arena restarts from zero.
   // Fails if the end-of-log sentinel cannot be written (the arena would
   // replay stale records after a restore).
-  Status Clear();
+  [[nodiscard]] Status Clear();
 
   // Rebuilds the index by scanning the arena records (post-restore fixup).
-  Status RecoverFromArena();
+  [[nodiscard]] Status RecoverFromArena();
 
  private:
   static constexpr uint64_t kRecordHeader = 8;  // klen u32 + vlen u32

@@ -24,11 +24,15 @@ RedisLike::RedisLike(SimContext* sim, Kernel* kernel, uint64_t num_keys, uint64_
                            /*copy_on_write=*/true);
   // Populate: every slot written once, like a loaded Redis instance. The
   // writes land in a mapping this constructor just created, so they cannot
-  // fail short of a simulator bug.
+  // fail short of a simulator bug — but a constructor cannot propagate, so
+  // any failure is counted where the benches (and tests) can see it.
   std::vector<uint8_t> slot(slot_size_);
   for (uint64_t k = 0; k < num_keys_; k++) {
     std::memset(slot.data(), static_cast<int>(k & 0xff), slot.size());
-    (void)proc_->vm().Write(SlotAddr(k), slot.data(), slot.size());
+    Status wrote = proc_->vm().Write(SlotAddr(k), slot.data(), slot.size());
+    if (!wrote.ok()) {
+      sim_->metrics.counter("redis.populate_failures").Add(1);
+    }
   }
 }
 
@@ -67,11 +71,16 @@ Result<RdbSaveResult> RedisLike::BgSave(BlockDevice* device) {
   // The child really reads its (COW-shared) pages — a sampled walk keeps the
   // host-time cost of the simulation reasonable while touching real memory.
   // The read targets the child's freshly forked image (resident by
-  // construction), so the sink is the only observable.
+  // construction); a failure means the fork is corrupt and the save must be
+  // abandoned like any other RDB error.
   uint8_t sink = 0;
   for (uint64_t k = 0; k < num_keys_; k += std::max<uint64_t>(1, num_keys_ / 1024)) {
     uint8_t b = 0;
-    (void)child->vm().Read(SlotAddr(k), &b, 1);
+    Status read = child->vm().Read(SlotAddr(k), &b, 1);
+    if (!read.ok()) {
+      kernel_->DestroyProcess(child);
+      return read;
+    }
     sink ^= b;
   }
   (void)sink;

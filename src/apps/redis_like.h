@@ -33,12 +33,12 @@ class RedisLike {
   uint64_t dataset_bytes() const { return num_keys_ * slot_size_; }
 
   // SET key i (dirties the slot's pages through the VM).
-  Status Set(uint64_t key, uint8_t fill);
+  [[nodiscard]] Status Set(uint64_t key, uint8_t fill);
   // GET key i (faults pages in as needed). Returns the first value byte.
-  Result<uint8_t> Get(uint64_t key);
+  [[nodiscard]] Result<uint8_t> Get(uint64_t key);
 
   // BGSAVE: fork-based snapshot onto `device`.
-  Result<RdbSaveResult> BgSave(BlockDevice* device);
+  [[nodiscard]] Result<RdbSaveResult> BgSave(BlockDevice* device);
 
  private:
   uint64_t SlotAddr(uint64_t key) const { return base_ + key * slot_size_; }

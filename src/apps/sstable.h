@@ -27,14 +27,14 @@ class SstableWriter {
   SstableWriter(SimContext* sim, std::shared_ptr<Vnode> file);
 
   // Keys must arrive in strictly increasing order.
-  Status Add(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Add(std::string_view key, std::string_view value);
   // Writes index/bloom/footer. Returns total file bytes.
-  Result<uint64_t> Finish();
+  [[nodiscard]] Result<uint64_t> Finish();
 
   uint64_t entries() const { return entries_; }
 
  private:
-  Status FlushBlock();
+  [[nodiscard]] Status FlushBlock();
 
   static constexpr uint64_t kBlockTarget = 4096;
 
@@ -55,14 +55,14 @@ class SstableWriter {
 
 class SstableReader {
  public:
-  static Result<std::unique_ptr<SstableReader>> Open(SimContext* sim,
-                                                     std::shared_ptr<Vnode> file);
+  [[nodiscard]] static Result<std::unique_ptr<SstableReader>> Open(SimContext* sim,
+                                                                   std::shared_ptr<Vnode> file);
 
   // Point lookup: bloom filter, then index binary search, then block scan.
-  Result<std::optional<std::string>> Get(std::string_view key);
+  [[nodiscard]] Result<std::optional<std::string>> Get(std::string_view key);
 
   // Full ordered scan (compaction input). Calls fn(key, value) per entry.
-  Status ForEach(const std::function<void(std::string_view, std::string_view)>& fn);
+  [[nodiscard]] Status ForEach(const std::function<void(std::string_view, std::string_view)>& fn);
 
   uint64_t entries() const { return entries_; }
   const std::string& smallest() const { return smallest_; }
@@ -71,7 +71,7 @@ class SstableReader {
  private:
   SstableReader(SimContext* sim, std::shared_ptr<Vnode> file) : sim_(sim), file_(std::move(file)) {}
 
-  Result<std::vector<uint8_t>> ReadRange(uint64_t off, uint64_t len);
+  [[nodiscard]] Result<std::vector<uint8_t>> ReadRange(uint64_t off, uint64_t len);
 
   SimContext* sim_;
   std::shared_ptr<Vnode> file_;

@@ -44,7 +44,8 @@ class EtcWorkload {
 class PrefixDistWorkload {
  public:
   PrefixDistWorkload(uint64_t num_keys, uint64_t seed)
-      : num_keys_(num_keys), prefix_zipf_(num_keys / 256 + 1, 0.92, seed), rng_(seed ^ 0xc2b2ae35) {}
+      : num_keys_(num_keys), prefix_zipf_(num_keys / 256 + 1, 0.92,
+                  seed), rng_(seed ^ 0xc2b2ae35) {}
 
   KvRequest Next();
   // RocksDB-style 20-byte key encoding for a key id.

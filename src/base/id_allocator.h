@@ -20,7 +20,7 @@ class IdAllocator {
       : first_(first), last_(last), next_(first) {}
 
   // Allocates the lowest free ID at or after the rotor position.
-  Result<uint64_t> Allocate() {
+  [[nodiscard]] Result<uint64_t> Allocate() {
     for (uint64_t attempts = 0; attempts <= last_ - first_; attempts++) {
       uint64_t candidate = next_;
       next_ = (next_ >= last_) ? first_ : next_ + 1;
@@ -32,7 +32,7 @@ class IdAllocator {
   }
 
   // Reserves a specific ID (restore path). Fails if already in use.
-  Status Reserve(uint64_t id) {
+  [[nodiscard]] Status Reserve(uint64_t id) {
     if (id < first_ || id > last_) {
       return Status::Error(Errc::kOutOfRange, "id outside allocator range");
     }

@@ -31,14 +31,17 @@ enum class Errc {
 
 const char* ErrcName(Errc e);
 
-// A status word with an optional human-readable message.
-class Status {
+// A status word with an optional human-readable message. The class-level
+// [[nodiscard]] makes every by-value return of Status warn when dropped,
+// even from functions that predate the per-declaration annotations; the
+// build promotes that warning to an error (-Werror=unused-result).
+class [[nodiscard]] Status {
  public:
   Status() : code_(Errc::kOk) {}
   Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status Error(Errc code, std::string message = "") {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Error(Errc code, std::string message = "") {
     return Status(code, std::move(message));
   }
 
@@ -55,7 +58,7 @@ class Status {
 
 // Result<T> holds either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
@@ -84,7 +87,7 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) {
       return Status::Ok();
     }
@@ -115,6 +118,18 @@ class Result {
 
 #define AURORA_ASSIGN_OR_RETURN(lhs, expr) \
   AURORA_ASSIGN_OR_RETURN_IMPL(AURORA_INTERNAL_CAT(_aurora_result_, __COUNTER__), lhs, expr)
+
+// The only sanctioned way to drop a Status (or Result) on the floor. Bare
+// `(void)` casts of Status-returning calls are rejected by aurora_lint; this
+// macro leaves an auditable reason string at the call site instead. The
+// reason must be a non-empty string literal.
+#define AURORA_IGNORE_STATUS(expr, reason)                                   \
+  do {                                                                       \
+    static_assert(sizeof(reason) > 1,                                        \
+                  "AURORA_IGNORE_STATUS requires a non-empty reason");       \
+    const auto& _aurora_ignored = (expr);                                    \
+    static_cast<void>(_aurora_ignored);                                      \
+  } while (0)
 
 }  // namespace aurora
 

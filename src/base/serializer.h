@@ -68,25 +68,25 @@ class BinaryReader {
       : data_(static_cast<const uint8_t*>(data)), len_(len) {}
   explicit BinaryReader(const std::vector<uint8_t>& buf) : BinaryReader(buf.data(), buf.size()) {}
 
-  Result<uint8_t> U8() { return Fixed<uint8_t>(); }
-  Result<uint16_t> U16() { return Fixed<uint16_t>(); }
-  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
-  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
-  Result<int64_t> I64() {
+  [[nodiscard]] Result<uint8_t> U8() { return Fixed<uint8_t>(); }
+  [[nodiscard]] Result<uint16_t> U16() { return Fixed<uint16_t>(); }
+  [[nodiscard]] Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  [[nodiscard]] Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+  [[nodiscard]] Result<int64_t> I64() {
     auto r = Fixed<uint64_t>();
     if (!r.ok()) {
       return r.status();
     }
     return static_cast<int64_t>(*r);
   }
-  Result<bool> Bool() {
+  [[nodiscard]] Result<bool> Bool() {
     auto r = U8();
     if (!r.ok()) {
       return r.status();
     }
     return *r != 0;
   }
-  Result<double> Double() {
+  [[nodiscard]] Result<double> Double() {
     auto r = U64();
     if (!r.ok()) {
       return r.status();
@@ -97,7 +97,7 @@ class BinaryReader {
     return v;
   }
 
-  Result<std::vector<uint8_t>> Bytes() {
+  [[nodiscard]] Result<std::vector<uint8_t>> Bytes() {
     auto len = U64();
     if (!len.ok()) {
       return len.status();
@@ -110,7 +110,7 @@ class BinaryReader {
     return out;
   }
 
-  Result<std::string> String() {
+  [[nodiscard]] Result<std::string> String() {
     auto b = Bytes();
     if (!b.ok()) {
       return b.status();
@@ -119,7 +119,7 @@ class BinaryReader {
   }
 
   // Reads `len` raw bytes into `out` (fixed-size payloads).
-  Status Raw(void* out, size_t len) {
+  [[nodiscard]] Status Raw(void* out, size_t len) {
     if (len > Remaining()) {
       return Status::Error(Errc::kCorrupt, "raw field overruns buffer");
     }
@@ -134,7 +134,7 @@ class BinaryReader {
 
  private:
   template <typename T>
-  Result<T> Fixed() {
+  [[nodiscard]] Result<T> Fixed() {
     if (sizeof(T) > Remaining()) {
       return Status::Error(Errc::kCorrupt, "fixed field overruns buffer");
     }

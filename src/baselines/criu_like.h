@@ -40,7 +40,7 @@ class CriuLike {
 
   // Dumps `procs` (a process tree) into an image, returning the breakdown
   // that Table 1 reports.
-  Result<CriuBreakdown> Checkpoint(const std::vector<Process*>& procs);
+  [[nodiscard]] Result<CriuBreakdown> Checkpoint(const std::vector<Process*>& procs);
 
  private:
   SimContext* sim_;

@@ -20,7 +20,7 @@ class SlsApi {
 
   // sls_checkpoint(): manually checkpoint the calling process's consistency
   // group. Returns the committed epoch.
-  Result<uint64_t> sls_checkpoint() {
+  [[nodiscard]] Result<uint64_t> sls_checkpoint() {
     AURORA_ASSIGN_OR_RETURN(CheckpointResult r, sls_->Checkpoint(group_));
     return r.epoch;
   }
@@ -29,7 +29,7 @@ class SlsApi {
   // checkpoint). On success the *caller's process object is gone*; the
   // returned group holds its successor — the analog of the paper's restore
   // resuming execution inside the application's Aurora signal handler.
-  Result<ConsistencyGroup*> sls_restore(uint64_t epoch = 0) {
+  [[nodiscard]] Result<ConsistencyGroup*> sls_restore(uint64_t epoch = 0) {
     AURORA_ASSIGN_OR_RETURN(RestoreResult r, sls_->Restore(group_->name(), epoch));
     group_ = r.group;
     proc_ = r.group->processes.empty() ? nullptr : r.group->processes[0];
@@ -38,26 +38,30 @@ class SlsApi {
 
   // sls_memckpt(): asynchronous atomic checkpoint of the mapped region
   // containing `addr` (no whole-application serialization).
-  Status sls_memckpt(uint64_t addr) { return sls_->MemCheckpoint(proc_, addr).status(); }
+  [[nodiscard]] Status sls_memckpt(uint64_t addr) { return sls_->MemCheckpoint(proc_,
+                                   addr).status(); }
 
   // sls_journal(): non-temporal synchronous flush to a write-ahead journal
   // outside the checkpoint (create once, append per operation).
-  Result<Oid> sls_journal_create(uint64_t capacity) { return sls_->JournalCreate(capacity); }
-  Status sls_journal(Oid journal, const void* data, uint64_t len) {
+  [[nodiscard]] Result<Oid> sls_journal_create(uint64_t capacity) {
+    return sls_->JournalCreate(capacity);
+  }
+  [[nodiscard]] Status sls_journal(Oid journal, const void* data, uint64_t len) {
     return sls_->JournalAppend(journal, data, len);
   }
-  Status sls_journal_truncate(Oid journal) { return sls_->JournalReset(journal); }
+  [[nodiscard]] Status sls_journal_truncate(Oid journal) { return sls_->JournalReset(journal); }
 
   // sls_barrier(): block until the group's last checkpoint is durable.
-  Status sls_barrier() { return sls_->Barrier(group_); }
+  [[nodiscard]] Status sls_barrier() { return sls_->Barrier(group_); }
 
   // sls_mctl(): include/exclude the memory region containing `addr` from
   // checkpoints (SLS_EXCLUDE / SLS_INCLUDE).
-  Status sls_mctl(uint64_t addr, bool exclude) { return sls_->MemCtl(proc_, addr, exclude); }
+  [[nodiscard]] Status sls_mctl(uint64_t addr, bool exclude) { return sls_->MemCtl(proc_, addr,
+                                exclude); }
 
   // sls_fdctl(): per-descriptor external synchrony control — read-only
   // connections can skip the commit wait.
-  Status sls_fdctl(int fd, bool disable_external_sync) {
+  [[nodiscard]] Status sls_fdctl(int fd, bool disable_external_sync) {
     return sls_->FdCtl(proc_, fd, disable_external_sync);
   }
 

@@ -60,18 +60,18 @@ class CheckpointBackend {
   // Epoch the next commit will seal (matches ObjectStore::current_epoch()).
   virtual uint64_t current_epoch() const = 0;
   // Names a new memory-region object in this backend's namespace.
-  virtual Result<Oid> CreateMemoryObject(uint64_t size_hint) = 0;
+  [[nodiscard]] virtual Result<Oid> CreateMemoryObject(uint64_t size_hint) = 0;
   // Persists the file-system namespace; backends without a filesystem return
   // kInvalidOid and the manifest simply records no namespace.
-  virtual Result<Oid> PersistNamespace() = 0;
+  [[nodiscard]] virtual Result<Oid> PersistNamespace() = 0;
   // Ships every resident page of `obj` to the object named `oid`, returning
   // the simulated time the pages are durable at the destination. Increments
   // *pages / *bytes per page shipped when non-null.
-  virtual Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
-                                           uint64_t* bytes) = 0;
+  [[nodiscard]] virtual Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                                         uint64_t* bytes) = 0;
   // Flushes file data dirtied since the last checkpoint (checkpoint
   // consistency makes fsync a no-op); no-op for backends without files.
-  virtual Result<SimTime> FlushFilesystem() = 0;
+  [[nodiscard]] virtual Result<SimTime> FlushFilesystem() = 0;
 
   struct CommitInfo {
     uint64_t epoch = 0;     // epoch this checkpoint committed as
@@ -81,9 +81,9 @@ class CheckpointBackend {
   // Seals the epoch: writes the manifest (skipped when empty, e.g. for
   // sls_memckpt region checkpoints) and commits. `replaces_manifest` is the
   // group's previous manifest object, dropped from the live table.
-  virtual Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
-                                         const std::vector<uint8_t>& manifest,
-                                         Oid replaces_manifest) = 0;
+  [[nodiscard]] virtual Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                                       const std::vector<uint8_t>& manifest,
+                                                       Oid replaces_manifest) = 0;
 
   // --- Restore source ------------------------------------------------------
   struct LoadedManifest {
@@ -92,16 +92,16 @@ class CheckpointBackend {
     std::vector<uint8_t> blob;
   };
   // Finds and reads the manifest for `group_name` at `epoch` (0 = newest).
-  virtual Result<LoadedManifest> LoadManifest(const std::string& group_name,
-                                              uint64_t epoch) = 0;
+  [[nodiscard]] virtual Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                                            uint64_t epoch) = 0;
   // Rolls the file-system namespace back to the checkpointed one.
-  virtual Status RestoreNamespace(uint64_t epoch, Oid ns_oid) = 0;
+  [[nodiscard]] virtual Status RestoreNamespace(uint64_t epoch, Oid ns_oid) = 0;
   // Builds the memory resolver RestoreOsState uses to materialize each
   // region object. kFull resolvers stream eagerly and accumulate their read
   // completion into *stream_done (the caller advances to it once at the
   // end); kLazy resolvers install demand pagers.
-  virtual Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
-                                                std::shared_ptr<SimTime> stream_done) = 0;
+  [[nodiscard]] virtual Result<MemoryResolverFn> MakeResolver(
+      uint64_t epoch, RestoreMode mode, std::shared_ptr<SimTime> stream_done) = 0;
 
   // --- Unified checkpoint/swap path (paper section 6) ----------------------
   // Backs the fully-durable, parentless object `base` with this backend so
@@ -124,21 +124,21 @@ class StoreBackend : public CheckpointBackend {
     store_->SetFlushLanes(static_cast<uint32_t>(lanes < 1 ? 1 : lanes));
   }
   uint64_t current_epoch() const override { return store_->current_epoch(); }
-  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
-  Result<Oid> PersistNamespace() override { return fs_->PersistNamespace(); }
-  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
-                                   uint64_t* bytes) override;
-  Result<SimTime> FlushFilesystem() override { return fs_->FlushAll(); }
-  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
-                                 const std::vector<uint8_t>& manifest,
-                                 Oid replaces_manifest) override;
-  Result<LoadedManifest> LoadManifest(const std::string& group_name,
-                                      uint64_t epoch) override;
-  Status RestoreNamespace(uint64_t epoch, Oid ns_oid) override {
+  [[nodiscard]] Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  [[nodiscard]] Result<Oid> PersistNamespace() override { return fs_->PersistNamespace(); }
+  [[nodiscard]] Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                                 uint64_t* bytes) override;
+  [[nodiscard]] Result<SimTime> FlushFilesystem() override { return fs_->FlushAll(); }
+  [[nodiscard]] Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                               const std::vector<uint8_t>& manifest,
+                                               Oid replaces_manifest) override;
+  [[nodiscard]] Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                                    uint64_t epoch) override;
+  [[nodiscard]] Status RestoreNamespace(uint64_t epoch, Oid ns_oid) override {
     return fs_->RestoreNamespace(epoch, ns_oid);
   }
-  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
-                                        std::shared_ptr<SimTime> stream_done) override;
+  [[nodiscard]] Result<MemoryResolverFn> MakeResolver(
+      uint64_t epoch, RestoreMode mode, std::shared_ptr<SimTime> stream_done) override;
   bool InstallPager(VmObject* base) override;
 
   ObjectStore* store() { return store_; }
@@ -186,21 +186,21 @@ class MemoryBackend : public CheckpointBackend {
     flusher_ = LaneSchedule(lanes, flusher_.Makespan());
   }
   uint64_t current_epoch() const override { return epoch_; }
-  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
-  Result<Oid> PersistNamespace() override { return kInvalidOid; }
-  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
-                                   uint64_t* bytes) override;
-  Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
-  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
-                                 const std::vector<uint8_t>& manifest,
-                                 Oid replaces_manifest) override;
-  Result<LoadedManifest> LoadManifest(const std::string& group_name,
-                                      uint64_t epoch) override;
-  Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
+  [[nodiscard]] Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  [[nodiscard]] Result<Oid> PersistNamespace() override { return kInvalidOid; }
+  [[nodiscard]] Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                                 uint64_t* bytes) override;
+  [[nodiscard]] Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
+  [[nodiscard]] Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                               const std::vector<uint8_t>& manifest,
+                                               Oid replaces_manifest) override;
+  [[nodiscard]] Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                                    uint64_t epoch) override;
+  [[nodiscard]] Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
     return Status::Error(Errc::kNotSupported, "memory backend holds no namespace");
   }
-  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
-                                        std::shared_ptr<SimTime> stream_done) override;
+  [[nodiscard]] Result<MemoryResolverFn> MakeResolver(
+      uint64_t epoch, RestoreMode mode, std::shared_ptr<SimTime> stream_done) override;
   bool InstallPager(VmObject* base) override;
 
   // Cost-free staging primitives for a NetBackend feeding this image table
@@ -212,7 +212,8 @@ class MemoryBackend : public CheckpointBackend {
                   SimTime committed_at);
 
   const ObjectImage* FindObject(uint64_t oid) const;
-  Result<const ImageRecord*> FindImage(const std::string& group_name, uint64_t epoch) const;
+  [[nodiscard]] Result<const ImageRecord*> FindImage(const std::string& group_name,
+                                                     uint64_t epoch) const;
   const std::vector<ImageRecord>& images() const { return images_; }
 
  private:
@@ -259,21 +260,21 @@ class NetBackend : public CheckpointBackend {
   const std::string& name() const override { return name_; }
   void SetFlushLanes(int lanes) override { lanes_ = LaneSchedule(lanes, lanes_.Makespan()); }
   uint64_t current_epoch() const override { return remote_->current_epoch(); }
-  Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
-  Result<Oid> PersistNamespace() override { return kInvalidOid; }
-  Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
-                                   uint64_t* bytes) override;
-  Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
-  Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
-                                 const std::vector<uint8_t>& manifest,
-                                 Oid replaces_manifest) override;
-  Result<LoadedManifest> LoadManifest(const std::string& group_name,
-                                      uint64_t epoch) override;
-  Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
+  [[nodiscard]] Result<Oid> CreateMemoryObject(uint64_t size_hint) override;
+  [[nodiscard]] Result<Oid> PersistNamespace() override { return kInvalidOid; }
+  [[nodiscard]] Result<SimTime> WriteObjectPages(Oid oid, VmObject* obj, uint64_t* pages,
+                                                 uint64_t* bytes) override;
+  [[nodiscard]] Result<SimTime> FlushFilesystem() override { return sim_->clock.now(); }
+  [[nodiscard]] Result<CommitInfo> CommitEpoch(const std::string& ckpt_name,
+                                               const std::vector<uint8_t>& manifest,
+                                               Oid replaces_manifest) override;
+  [[nodiscard]] Result<LoadedManifest> LoadManifest(const std::string& group_name,
+                                                    uint64_t epoch) override;
+  [[nodiscard]] Status RestoreNamespace(uint64_t /*epoch*/, Oid /*ns_oid*/) override {
     return Status::Error(Errc::kNotSupported, "net backend holds no namespace");
   }
-  Result<MemoryResolverFn> MakeResolver(uint64_t epoch, RestoreMode mode,
-                                        std::shared_ptr<SimTime> stream_done) override;
+  [[nodiscard]] Result<MemoryResolverFn> MakeResolver(
+      uint64_t epoch, RestoreMode mode, std::shared_ptr<SimTime> stream_done) override;
   bool InstallPager(VmObject* base) override;
 
   MemoryBackend* remote() { return remote_; }
@@ -289,8 +290,8 @@ class NetBackend : public CheckpointBackend {
   // wire's byte occupancy is shared (wire_busy_). With one lane the stream
   // timeline always covers the wire bucket, i.e. the historical serial link.
   // Fails with kIoError when the lossy-link profile exhausts its retries.
-  Result<SimTime> QueueTransferOn(int lane, uint64_t payload);
-  Result<SimTime> QueueTransfer(uint64_t payload) {
+  [[nodiscard]] Result<SimTime> QueueTransferOn(int lane, uint64_t payload);
+  [[nodiscard]] Result<SimTime> QueueTransfer(uint64_t payload) {
     return QueueTransferOn(lanes_.NextLane(), payload);
   }
 
@@ -309,13 +310,11 @@ class NetBackend : public CheckpointBackend {
 // -----------------------------------------------------------------------------
 // Scans committed checkpoints newest-first for a manifest whose header names
 // `group_name`; `epoch` 0 = newest. Returns (epoch, manifest oid).
-Result<std::pair<uint64_t, Oid>> FindManifestInStore(ObjectStore* store,
-                                                     const std::string& group_name,
-                                                     uint64_t epoch);
+[[nodiscard]] Result<std::pair<uint64_t, Oid>> FindManifestInStore(
+    ObjectStore* store, const std::string& group_name, uint64_t epoch);
 // FindManifestInStore plus the final manifest read.
-Result<CheckpointBackend::LoadedManifest> LoadManifestFromStore(ObjectStore* store,
-                                                                const std::string& group_name,
-                                                                uint64_t epoch);
+[[nodiscard]] Result<CheckpointBackend::LoadedManifest> LoadManifestFromStore(
+    ObjectStore* store, const std::string& group_name, uint64_t epoch);
 
 // -----------------------------------------------------------------------------
 // Migration stream codec (`sls send` / `sls recv` wire format, magic "ASND").
@@ -336,8 +335,8 @@ struct StreamPayload {
 };
 
 std::vector<uint8_t> EncodeCheckpointStream(const StreamPayload& payload);
-Result<StreamPayload> DecodeCheckpointStream(const std::vector<uint8_t>& bytes,
-                                             uint32_t block_size);
+[[nodiscard]] Result<StreamPayload> DecodeCheckpointStream(const std::vector<uint8_t>& bytes,
+                                                           uint32_t block_size);
 
 }  // namespace aurora
 

@@ -30,32 +30,33 @@ class SlsCli {
   explicit SlsCli(Sls* sls) : sls_(sls) {}
 
   // sls attach: attaches `proc` to the named group (created on demand).
-  Result<ConsistencyGroup*> Attach(const std::string& group_name, Process* proc);
+  [[nodiscard]] Result<ConsistencyGroup*> Attach(const std::string& group_name, Process* proc);
   // sls detach: makes the process ephemeral — still quiesced with its
   // group, no longer persisted (Table 2).
-  Status Detach(Process* proc);
+  [[nodiscard]] Status Detach(Process* proc);
   // sls checkpoint: manual named checkpoint. A non-empty `backend_name`
   // (`sls ckpt --backend=`) routes the group's checkpoints through that
   // backend first (see SetBackend for when that is legal).
-  Result<CheckpointResult> Checkpoint(const std::string& group_name, const std::string& name,
-                                      const std::string& backend_name = "");
+  [[nodiscard]] Result<CheckpointResult> Checkpoint(const std::string& group_name,
+                                                    const std::string& name,
+                                                    const std::string& backend_name = "");
   // sls restore. A non-empty `backend_name` restores from that backend
   // instead of the local object store.
-  Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
-                                RestoreMode mode = RestoreMode::kFull,
-                                const std::string& backend_name = "");
+  [[nodiscard]] Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
+                                              RestoreMode mode = RestoreMode::kFull,
+                                              const std::string& backend_name = "");
   // sls ckpt --backend=<name>: routes the group's future checkpoints through
   // the named backend (store / memory / net). Legal only while the group has
   // no checkpoint state in flight.
-  Status SetBackend(const std::string& group_name, const std::string& backend_name);
+  [[nodiscard]] Status SetBackend(const std::string& group_name, const std::string& backend_name);
   // sls ckpt --in-flight-epochs=<n>: epoch-overlap backpressure knob for
   // periodic checkpoints. 1 (default) = a new epoch never starts before the
   // previous flush is durable; 2 = one flush may still be in flight.
-  Status SetInFlightEpochs(const std::string& group_name, uint32_t limit);
+  [[nodiscard]] Status SetInFlightEpochs(const std::string& group_name, uint32_t limit);
   // sls ckpt --flush-lanes=<n>: fans checkpoint flush / eager restore over n
   // cores, each driving its own device queue (machine-wide, all backends).
   // Returns the applied value, clamped to [1, ncpus].
-  Result<int> SetFlushLanes(int lanes);
+  [[nodiscard]] Result<int> SetFlushLanes(int lanes);
   // sls ps: human-readable listing of groups and their checkpoints.
   std::vector<std::string> Ps();
   // sls stat: human-readable snapshot of the machine-wide metrics registry —
@@ -63,30 +64,31 @@ class SlsCli {
   // most recent checkpoint or restore.
   std::vector<std::string> Stat();
   // sls suspend / sls resume.
-  Result<CheckpointResult> Suspend(const std::string& group_name);
-  Result<RestoreResult> Resume(const std::string& group_name);
+  [[nodiscard]] Result<CheckpointResult> Suspend(const std::string& group_name);
+  [[nodiscard]] Result<RestoreResult> Resume(const std::string& group_name);
   // sls dump: ELF coredump of one process in the group.
-  Result<std::vector<uint8_t>> Dump(const std::string& group_name, uint64_t local_pid);
+  [[nodiscard]] Result<std::vector<uint8_t>> Dump(const std::string& group_name,
+                                                  uint64_t local_pid);
   // Reclaims history: drops checkpoints older than `epoch` and frees their
   // exclusive blocks (execution history is bounded only by storage).
-  Status Prune(uint64_t epoch);
+  [[nodiscard]] Status Prune(uint64_t epoch);
   // sls scrub: walks every committed epoch's metadata and data blocks,
   // verifying the per-extent CRCs against the media. One verdict line per
   // epoch plus one line per bad block, then a machine total.
-  Result<std::vector<std::string>> Scrub();
+  [[nodiscard]] Result<std::vector<std::string>> Scrub();
 
   // sls send: serializes the group's newest durable checkpoint (manifest +
   // memory) into a stream, charging network transfer time. With
   // `since_epoch` nonzero, only blocks written after that epoch are shipped
   // (pre-copy rounds / continuous high availability).
-  Result<CheckpointStream> Send(const std::string& group_name, uint64_t epoch = 0,
-                                uint64_t since_epoch = 0);
+  [[nodiscard]] Result<CheckpointStream> Send(const std::string& group_name, uint64_t epoch = 0,
+                                              uint64_t since_epoch = 0);
   // sls recv: instantiates a received stream on *this* machine's SLS. Store
   // OIDs are re-assigned locally at the first checkpoint after arrival.
   // With a session, incremental streams compose onto the previously
   // received image and the session is updated for the next round.
-  Result<RestoreResult> Recv(const CheckpointStream& stream,
-                             MigrationSession* session = nullptr);
+  [[nodiscard]] Result<RestoreResult> Recv(const CheckpointStream& stream,
+                                           MigrationSession* session = nullptr);
 
  private:
   Sls* sls_;

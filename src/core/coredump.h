@@ -15,7 +15,7 @@
 namespace aurora {
 
 // Renders `proc` as an ELF64 core file image.
-Result<std::vector<uint8_t>> WriteElfCore(Process* proc);
+[[nodiscard]] Result<std::vector<uint8_t>> WriteElfCore(Process* proc);
 
 // Validation helpers used by tests and tooling.
 struct ElfCoreSummary {
@@ -23,7 +23,7 @@ struct ElfCoreSummary {
   uint64_t note_threads = 0;
   uint64_t memory_bytes = 0;
 };
-Result<ElfCoreSummary> InspectElfCore(const std::vector<uint8_t>& image);
+[[nodiscard]] Result<ElfCoreSummary> InspectElfCore(const std::vector<uint8_t>& image);
 
 }  // namespace aurora
 

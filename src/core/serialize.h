@@ -41,10 +41,11 @@ using EnsureOidFn = std::function<Oid(VmObject*)>;
 
 // Serializes the group's OS state into a manifest blob, charging the cost
 // model for each object gathered (Table 4's checkpoint column).
-Result<std::vector<uint8_t>> SerializeOsState(SimContext* sim, const ConsistencyGroup& group,
-                                              uint64_t epoch, Oid namespace_oid,
-                                              const EnsureOidFn& ensure_oid,
-                                              SerializeStats* stats);
+[[nodiscard]] Result<std::vector<uint8_t>> SerializeOsState(SimContext* sim,
+                                                            const ConsistencyGroup& group,
+                                                            uint64_t epoch, Oid namespace_oid,
+                                                            const EnsureOidFn& ensure_oid,
+                                                            SerializeStats* stats);
 
 // Resolves a memory OID to a VM object during restore. `chain_complete`
 // means the returned object already carries its whole ancestry (the
@@ -65,17 +66,17 @@ struct RestoredGroup {
 // Recreates the group from a manifest blob. Memory objects are materialized
 // through `resolve` (eager store reads, lazy pagers, or in-memory frozen
 // objects). Charges the cost model (Table 4's restore column).
-Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* fs,
-                                     const std::vector<uint8_t>& manifest,
-                                     const MemoryResolverFn& resolve);
+[[nodiscard]] Result<RestoredGroup> RestoreOsState(SimContext* sim, Kernel* kernel, AuroraFs* fs,
+                                                   const std::vector<uint8_t>& manifest,
+                                                   const MemoryResolverFn& resolve);
 
 // Reads just the header (group name + epoch) of a manifest blob.
-Result<RestoredGroup> PeekManifest(const std::vector<uint8_t>& manifest);
+[[nodiscard]] Result<RestoredGroup> PeekManifest(const std::vector<uint8_t>& manifest);
 
 // Lists the (oid, size) pairs of the manifest's memory-object section
 // (used by migration streams).
-Result<std::vector<std::pair<uint64_t, uint64_t>>> ManifestMemoryObjects(
-    const std::vector<uint8_t>& manifest);
+[[nodiscard]] Result<std::vector<std::pair<uint64_t, uint64_t>>> ManifestMemoryObjects(
+                  const std::vector<uint8_t>& manifest);
 
 }  // namespace aurora
 

@@ -428,9 +428,15 @@ void Sls::CkptRelease(CheckpointContext* ctx) {
     auto sends = std::make_shared<std::vector<ConsistencyGroup::PendingSend>>(
         std::move(group->pending_sends));
     group->pending_sends.clear();
-    sim_->events.At(ctx->durable, [sends]() {
+    sim_->events.At(ctx->durable, [this, sends]() {
       for (auto& send : *sends) {
-        (void)send.socket->Send(send.data.data(), send.data.size());
+        // The release fires from the event loop, long after the caller of
+        // SendExternal returned: there is nowhere to propagate to, so a
+        // peer that vanished while the message was held is counted instead.
+        Result<uint64_t> sent = send.socket->Send(send.data.data(), send.data.size());
+        if (!sent.ok()) {
+          sim_->metrics.counter("sls.release_send_failures").Add(1);
+        }
       }
     });
   }
@@ -559,14 +565,25 @@ void Sls::ScheduleNextPeriodic(ConsistencyGroup* group, std::shared_ptr<bool> al
       });
       return;
     }
-    (void)Checkpoint(group);
+    // A periodic checkpoint has no caller to report to; epoch aborts are
+    // already counted by CkptAbortEpoch, so what is counted here is the
+    // logic-error path (bad state, missing object) that aborting cannot
+    // absorb. The timer keeps rescheduling either way — one failed epoch
+    // must not silence durability forever.
+    Result<CheckpointResult> ckpt = Checkpoint(group);
+    if (!ckpt.ok()) {
+      sim_->metrics.counter("ckpt.periodic_failures").Add(1);
+    }
     ScheduleNextPeriodic(group, alive);
   });
 }
 
 void Sls::ReleasePendingSends(ConsistencyGroup* group) {
   for (auto& send : group->pending_sends) {
-    (void)send.socket->Send(send.data.data(), send.data.size());
+    Result<uint64_t> sent = send.socket->Send(send.data.data(), send.data.size());
+    if (!sent.ok()) {
+      sim_->metrics.counter("sls.release_send_failures").Add(1);
+    }
   }
   group->pending_sends.clear();
 }

@@ -88,10 +88,10 @@ class Sls {
   ~Sls();
 
   // --- Consistency groups (sls attach / detach / ps) -----------------------
-  Result<ConsistencyGroup*> CreateGroup(const std::string& name);
+  [[nodiscard]] Result<ConsistencyGroup*> CreateGroup(const std::string& name);
   ConsistencyGroup* FindGroup(const std::string& name);
-  Status Attach(ConsistencyGroup* group, Process* proc);
-  Status Detach(Process* proc);  // makes the process ephemeral-like: leaves the group
+  [[nodiscard]] Status Attach(ConsistencyGroup* group, Process* proc);
+  [[nodiscard]] Status Detach(Process* proc);  // makes the process ephemeral-like: leaves the group
   std::vector<ConsistencyGroup*> Groups();
 
   // --- Checkpoint backends -------------------------------------------------
@@ -103,7 +103,7 @@ class Sls {
   // Routes the group's checkpoints through `backend_name`. Only legal while
   // the group has no checkpoint state (fresh or just restored through the
   // same backend) — mixing destinations mid-chain would strand pages.
-  Status SetBackend(ConsistencyGroup* group, const std::string& backend_name);
+  [[nodiscard]] Status SetBackend(ConsistencyGroup* group, const std::string& backend_name);
   // Fans checkpoint flush and eager restore across `lanes` cores, each
   // driving its own device submission queue / flusher / NIC stream, on every
   // registered backend. Clamped to [1, ncpus]; 1 (the default) is the exact
@@ -111,8 +111,9 @@ class Sls {
   int SetFlushLanes(int lanes);
 
   // --- Checkpoint / restore ------------------------------------------------
-  Result<CheckpointResult> Checkpoint(ConsistencyGroup* group, const std::string& name = "",
-                                      CheckpointMode mode = CheckpointMode::kFull);
+  [[nodiscard]] Result<CheckpointResult> Checkpoint(ConsistencyGroup* group,
+                                                    const std::string& name = "",
+                                                    CheckpointMode mode = CheckpointMode::kFull);
 
   // Drives the group's periodic transparent persistence (the default 100x
   // per second) on the simulation's event queue: a checkpoint fires every
@@ -124,31 +125,31 @@ class Sls {
   void StopPeriodicCheckpoints(ConsistencyGroup* group);
   // epoch 0 = newest checkpoint with a manifest for this group. `backend`
   // selects the restore source; null = the store backend.
-  Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
-                                RestoreMode mode = RestoreMode::kFull,
-                                CheckpointBackend* backend = nullptr);
+  [[nodiscard]] Result<RestoreResult> Restore(const std::string& group_name, uint64_t epoch = 0,
+                                              RestoreMode mode = RestoreMode::kFull,
+                                              CheckpointBackend* backend = nullptr);
 
   // sls suspend / resume: checkpoint, then tear the processes down; restore
   // later (possibly after reboot).
-  Result<CheckpointResult> Suspend(ConsistencyGroup* group);
-  Result<RestoreResult> ResumeSuspended(const std::string& group_name,
-                                        RestoreMode mode = RestoreMode::kFull);
+  [[nodiscard]] Result<CheckpointResult> Suspend(ConsistencyGroup* group);
+  [[nodiscard]] Result<RestoreResult> ResumeSuspended(const std::string& group_name,
+                                                      RestoreMode mode = RestoreMode::kFull);
 
   // --- Aurora API (Table 3) ------------------------------------------------
   // sls_memckpt: atomic asynchronous checkpoint of the region containing
   // `addr`, without whole-application serialization.
-  Result<CheckpointResult> MemCheckpoint(Process* proc, uint64_t addr);
+  [[nodiscard]] Result<CheckpointResult> MemCheckpoint(Process* proc, uint64_t addr);
   // sls_journal: non-COW synchronous journal objects.
-  Result<Oid> JournalCreate(uint64_t capacity_bytes);
-  Status JournalAppend(Oid journal, const void* data, uint64_t len);
-  Status JournalReset(Oid journal);
-  Result<std::vector<std::vector<uint8_t>>> JournalReplay(Oid journal);
+  [[nodiscard]] Result<Oid> JournalCreate(uint64_t capacity_bytes);
+  [[nodiscard]] Status JournalAppend(Oid journal, const void* data, uint64_t len);
+  [[nodiscard]] Status JournalReset(Oid journal);
+  [[nodiscard]] Result<std::vector<std::vector<uint8_t>>> JournalReplay(Oid journal);
   // sls_barrier: wait until the group's last checkpoint is durable.
-  Status Barrier(ConsistencyGroup* group);
+  [[nodiscard]] Status Barrier(ConsistencyGroup* group);
   // sls_mctl: include/exclude a memory region from checkpoints.
-  Status MemCtl(Process* proc, uint64_t addr, bool exclude);
+  [[nodiscard]] Status MemCtl(Process* proc, uint64_t addr, bool exclude);
   // sls_fdctl: per-descriptor external synchrony control.
-  Status FdCtl(Process* proc, int fd, bool disable_external_sync);
+  [[nodiscard]] Status FdCtl(Process* proc, int fd, bool disable_external_sync);
 
   // --- Memory overcommitment (paper section 6) -----------------------------
   // Evicts up to `target_pages` resident pages whose contents are already
@@ -159,7 +160,7 @@ class Sls {
     uint64_t clean_evicted = 0;
     uint64_t objects_paged = 0;
   };
-  Result<EvictStats> EvictPages(ConsistencyGroup* group, uint64_t target_pages);
+  [[nodiscard]] Result<EvictStats> EvictPages(ConsistencyGroup* group, uint64_t target_pages);
   // Enables the unified swap path: checkpoint flushes drop pages from memory
   // once durable (see ConsistencyGroup::evict_after_flush).
   void SetMemoryPressure(ConsistencyGroup* group, bool enabled) {
@@ -169,12 +170,14 @@ class Sls {
   // --- External synchrony --------------------------------------------------
   // Sends on group-external sockets buffer here until the covering
   // checkpoint commits (unless disabled for the socket or the group).
-  Result<uint64_t> SendExternal(ConsistencyGroup* group, const std::shared_ptr<Socket>& socket,
-                                const void* data, uint64_t len);
+  [[nodiscard]] Result<uint64_t> SendExternal(ConsistencyGroup* group,
+                                              const std::shared_ptr<Socket>& socket,
+                                              const void* data, uint64_t len);
 
   // --- Introspection -------------------------------------------------------
   // Locates the manifest for `group_name` at `epoch` (0 = latest).
-  Result<std::pair<uint64_t, Oid>> FindManifest(const std::string& group_name, uint64_t epoch);
+  [[nodiscard]] Result<std::pair<uint64_t, Oid>> FindManifest(const std::string& group_name,
+                                                              uint64_t epoch);
   std::vector<CheckpointInfo> ListCheckpoints() const { return store_->ListCheckpoints(); }
 
   SimContext* sim() { return sim_; }
@@ -187,12 +190,12 @@ class Sls {
   // fallible stages return Status and abort the pipeline.
   void CkptCollapse(CheckpointContext* ctx);
   void CkptQuiesce(CheckpointContext* ctx);
-  Status CkptSerialize(CheckpointContext* ctx);
+  [[nodiscard]] Status CkptSerialize(CheckpointContext* ctx);
   void CkptShadow(CheckpointContext* ctx);
   void CkptResume(CheckpointContext* ctx);
   void CkptRetainInMemory(CheckpointContext* ctx);  // kMemoryOnly epilogue
-  Status CkptAsyncFlush(CheckpointContext* ctx);
-  Status CkptCommit(CheckpointContext* ctx);
+  [[nodiscard]] Status CkptAsyncFlush(CheckpointContext* ctx);
+  [[nodiscard]] Status CkptCommit(CheckpointContext* ctx);
   void CkptRelease(CheckpointContext* ctx);
   // Degrade-don't-die epilogue: abandons the in-flight epoch after an I/O
   // failure, re-queueing its frozen shadows for the next checkpoint.
@@ -200,12 +203,12 @@ class Sls {
 
   // Restore pipeline stages, in order. Fallible stages run before teardown
   // where possible so early failures leave the old incarnation untouched.
-  Status RestoreLoadManifest(RestoreContext* ctx);
-  Status RestoreBuildResolver(RestoreContext* ctx);
+  [[nodiscard]] Status RestoreLoadManifest(RestoreContext* ctx);
+  [[nodiscard]] Status RestoreBuildResolver(RestoreContext* ctx);
   void RestoreTeardownOld(RestoreContext* ctx);
-  Status RestoreNamespaceStage(RestoreContext* ctx);
-  Status RestoreMaterialize(RestoreContext* ctx);
-  Status RestoreRebindGroup(RestoreContext* ctx);
+  [[nodiscard]] Status RestoreNamespaceStage(RestoreContext* ctx);
+  [[nodiscard]] Status RestoreMaterialize(RestoreContext* ctx);
+  [[nodiscard]] Status RestoreRebindGroup(RestoreContext* ctx);
 
   CheckpointBackend* GroupBackend(ConsistencyGroup* group) {
     return group->backend != nullptr ? group->backend : store_backend_;
@@ -213,7 +216,7 @@ class Sls {
   Oid EnsureMemoryOid(CheckpointBackend* backend, VmObject* obj);
   std::vector<VmMap*> GroupMaps(ConsistencyGroup* group);
   // Walks entry + shm chains, flushing never-persisted lower links.
-  Result<SimTime> FlushUnpersistedChains(CheckpointContext* ctx);
+  [[nodiscard]] Result<SimTime> FlushUnpersistedChains(CheckpointContext* ctx);
   void ReleasePendingSends(ConsistencyGroup* group);
   // Wraps every restored top object in a live shadow so the next checkpoint
   // is incremental rather than a full rewrite.

@@ -28,16 +28,17 @@ class AuroraFs : public BufferedFs {
 
   // Serializes the name table into a store object so restores recover the
   // namespace; called by the orchestrator during checkpoint flush.
-  Result<Oid> PersistNamespace();
-  Status RestoreNamespace(uint64_t epoch, Oid ns_oid);
+  [[nodiscard]] Result<Oid> PersistNamespace();
+  [[nodiscard]] Status RestoreNamespace(uint64_t epoch, Oid ns_oid);
 
  protected:
   uint64_t AllocateIno(const std::string& path) override;
   void ChargeCreate() override;
   void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) override;
-  Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
-  Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) override;
-  Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) override;
+  [[nodiscard]] Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
+  [[nodiscard]] Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx,
+                                             const CacheBlock& cb) override;
+  [[nodiscard]] Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) override;
   void ReleaseBacking(Vnode* vn) override;
   bool RetainAnonymousFiles() const override { return true; }
 

@@ -29,7 +29,7 @@ class DeviceBackedFs : public BufferedFs {
 
  protected:
   uint64_t AllocateIno(const std::string& path) override;
-  Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) override;
+  [[nodiscard]] Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) override;
 
   // Allocates device LBAs for one fs block.
   uint64_t AllocDeviceRun();
@@ -50,8 +50,9 @@ class FfsLikeFs : public DeviceBackedFs {
  protected:
   void ChargeCreate() override;
   void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) override;
-  Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
-  Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) override;
+  [[nodiscard]] Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
+  [[nodiscard]] Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx,
+                                             const CacheBlock& cb) override;
 
  private:
   // Bytes written since the last fsync: soft updates let fsync write just
@@ -69,8 +70,9 @@ class ZfsLikeFs : public DeviceBackedFs {
  protected:
   void ChargeCreate() override;
   void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) override;
-  Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
-  Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) override;
+  [[nodiscard]] Status FsyncImpl(Vnode* vn, uint64_t dirty_len) override;
+  [[nodiscard]] Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx,
+                                             const CacheBlock& cb) override;
 
  private:
   bool checksums_;

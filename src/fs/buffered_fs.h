@@ -26,29 +26,30 @@ class BufferedFs : public Filesystem {
       : sim_(sim), fs_block_size_(fs_block_size) {}
 
   // --- Filesystem interface -------------------------------------------------
-  Result<std::shared_ptr<Vnode>> Create(const std::string& path) override;
-  Result<std::shared_ptr<Vnode>> Lookup(const std::string& path) override;
-  Status Unlink(const std::string& path) override;
-  Status Rename(const std::string& from, const std::string& to) override;
+  [[nodiscard]] Result<std::shared_ptr<Vnode>> Create(const std::string& path) override;
+  [[nodiscard]] Result<std::shared_ptr<Vnode>> Lookup(const std::string& path) override;
+  [[nodiscard]] Status Unlink(const std::string& path) override;
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to) override;
   std::vector<std::string> List() const override;
-  Result<std::shared_ptr<Vnode>> LookupByIno(uint64_t ino) override;
-  Result<std::string> PathOfIno(uint64_t ino) const override;
+  [[nodiscard]] Result<std::shared_ptr<Vnode>> LookupByIno(uint64_t ino) override;
+  [[nodiscard]] Result<std::string> PathOfIno(uint64_t ino) const override;
 
-  Result<uint64_t> ReadAt(Vnode* vn, uint64_t off, void* out, uint64_t len) override;
-  Result<uint64_t> WriteAt(Vnode* vn, uint64_t off, const void* data, uint64_t len) override;
-  Status Truncate(Vnode* vn, uint64_t new_size) override;
-  Status Fsync(Vnode* vn) override;
+  [[nodiscard]] Result<uint64_t> ReadAt(Vnode* vn, uint64_t off, void* out, uint64_t len) override;
+  [[nodiscard]] Result<uint64_t> WriteAt(Vnode* vn, uint64_t off, const void* data,
+                                         uint64_t len) override;
+  [[nodiscard]] Status Truncate(Vnode* vn, uint64_t new_size) override;
+  [[nodiscard]] Status Fsync(Vnode* vn) override;
 
   // Flushes every dirty cache block to backing storage (periodic sync /
   // transaction group / Aurora checkpoint). Returns the completion time of
   // the last write issued.
-  Result<SimTime> FlushAll();
-  Result<SimTime> FlushVnode(uint64_t ino);
+  [[nodiscard]] Result<SimTime> FlushAll();
+  [[nodiscard]] Result<SimTime> FlushVnode(uint64_t ino);
 
   // Restore paths: registers a file under a preexisting inode number, either
   // linked at `path` or anonymous (unlinked but referenced by a checkpoint).
-  Result<std::shared_ptr<Vnode>> CreateWithIno(const std::string& path, uint64_t ino);
-  Result<std::shared_ptr<Vnode>> RegisterAnonymousIno(uint64_t ino);
+  [[nodiscard]] Result<std::shared_ptr<Vnode>> CreateWithIno(const std::string& path, uint64_t ino);
+  [[nodiscard]] Result<std::shared_ptr<Vnode>> RegisterAnonymousIno(uint64_t ino);
 
   uint64_t DirtyBytes() const { return dirty_bytes_; }
 
@@ -73,11 +74,12 @@ class BufferedFs : public Filesystem {
   virtual void ChargeWrite(uint64_t len, bool sub_block, bool first_dirty) = 0;
   // Durability point for one file: FFS flushes + journals, ZFS writes the
   // intent log, Aurora is a no-op under checkpoint consistency.
-  virtual Status FsyncImpl(Vnode* vn, uint64_t dirty_len) = 0;
+  [[nodiscard]] virtual Status FsyncImpl(Vnode* vn, uint64_t dirty_len) = 0;
   // Persist one cache block; returns device completion time.
-  virtual Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx, const CacheBlock& cb) = 0;
+  [[nodiscard]] virtual Result<SimTime> PersistBlock(Vnode* vn, uint64_t block_idx,
+                                                     const CacheBlock& cb) = 0;
   // Fill `out` (fs_block_size bytes) from backing storage.
-  virtual Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) = 0;
+  [[nodiscard]] virtual Status LoadBlock(Vnode* vn, uint64_t block_idx, uint8_t* out) = 0;
   // Namespace removal of backing storage (when the last reference dies).
   virtual void ReleaseBacking(Vnode* /*vn*/) {}
 
@@ -95,8 +97,9 @@ class BufferedFs : public Filesystem {
   };
 
   FileState* StateOf(Vnode* vn);
-  Result<CacheBlock*> GetBlock(FileState& fs, Vnode* vn, uint64_t block_idx, bool for_write,
-                               bool whole_block);
+  [[nodiscard]] Result<CacheBlock*> GetBlock(FileState& fs, Vnode* vn, uint64_t block_idx,
+                                             bool for_write,
+                                             bool whole_block);
   void MaybeReclaim(uint64_t ino);
 
   uint32_t fs_block_size_;

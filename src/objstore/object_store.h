@@ -60,25 +60,26 @@ struct StoreStats {
 class ObjectStore {
  public:
   // Formats `device` and returns an empty store at epoch 1.
-  static Result<std::unique_ptr<ObjectStore>> Format(BlockDevice* device, SimContext* sim,
-                                                     StoreOptions options = StoreOptions());
+  [[nodiscard]] static Result<std::unique_ptr<ObjectStore>> Format(
+      BlockDevice* device, SimContext* sim, StoreOptions options = StoreOptions());
   // Mounts an existing store, recovering to the last complete checkpoint.
-  static Result<std::unique_ptr<ObjectStore>> Open(BlockDevice* device, SimContext* sim);
+  [[nodiscard]] static Result<std::unique_ptr<ObjectStore>> Open(BlockDevice* device,
+                                                                 SimContext* sim);
 
   // --- Objects -------------------------------------------------------------
-  Result<Oid> CreateObject(ObjType type, uint64_t size_hint = 0);
-  Status DeleteObject(Oid oid);
+  [[nodiscard]] Result<Oid> CreateObject(ObjType type, uint64_t size_hint = 0);
+  [[nodiscard]] Status DeleteObject(Oid oid);
   bool Exists(Oid oid) const { return objects_.count(oid) > 0; }
-  Result<ObjType> TypeOf(Oid oid) const;
-  Result<uint64_t> SizeOf(Oid oid) const;
-  Status SetSize(Oid oid, uint64_t size);
+  [[nodiscard]] Result<ObjType> TypeOf(Oid oid) const;
+  [[nodiscard]] Result<uint64_t> SizeOf(Oid oid) const;
+  [[nodiscard]] Status SetSize(Oid oid, uint64_t size);
   std::vector<Oid> ListObjects() const;
 
   // Byte-granularity COW I/O against the current (uncommitted) epoch.
   // WriteAt returns the simulated device completion time so checkpoint
   // flushes can overlap writes and wait for the latest completion only.
-  Result<SimTime> WriteAt(Oid oid, uint64_t off, const void* data, uint64_t len);
-  Status ReadAt(Oid oid, uint64_t off, void* out, uint64_t len);
+  [[nodiscard]] Result<SimTime> WriteAt(Oid oid, uint64_t off, const void* data, uint64_t len);
+  [[nodiscard]] Status ReadAt(Oid oid, uint64_t off, void* out, uint64_t len);
 
   // Batched sub-block COW update: all runs touching one store block are
   // folded into a single read-modify-write of that block, and the RMW reads
@@ -90,7 +91,7 @@ class ObjectStore {
     const uint8_t* data = nullptr;
     uint64_t len = 0;
   };
-  Result<SimTime> WriteAtBatch(Oid oid, const std::vector<IoRun>& runs);
+  [[nodiscard]] Result<SimTime> WriteAtBatch(Oid oid, const std::vector<IoRun>& runs);
 
   // --- Parallel flush lanes -------------------------------------------------
   // Fans the flusher's store-block I/O across `lanes` device submission
@@ -107,37 +108,38 @@ class ObjectStore {
   // synchronous; otherwise reads are pipelined asynchronously and the
   // device completion time is reported through `completion` (restore
   // streaming).
-  Status ReadAtEpoch(uint64_t epoch, Oid oid, uint64_t off, void* out, uint64_t len,
-                     SimTime* completion = nullptr);
-  Result<uint64_t> SizeAtEpoch(uint64_t epoch, Oid oid);
-  Result<std::vector<Oid>> ObjectsAtEpoch(uint64_t epoch);
-  Result<bool> ExistsAtEpoch(uint64_t epoch, Oid oid);
-  Result<ObjType> TypeAtEpoch(uint64_t epoch, Oid oid);
+  [[nodiscard]] Status ReadAtEpoch(uint64_t epoch, Oid oid, uint64_t off, void* out, uint64_t len,
+                                   SimTime* completion = nullptr);
+  [[nodiscard]] Result<uint64_t> SizeAtEpoch(uint64_t epoch, Oid oid);
+  [[nodiscard]] Result<std::vector<Oid>> ObjectsAtEpoch(uint64_t epoch);
+  [[nodiscard]] Result<bool> ExistsAtEpoch(uint64_t epoch, Oid oid);
+  [[nodiscard]] Result<ObjType> TypeAtEpoch(uint64_t epoch, Oid oid);
   // Logical block indices with data at that epoch (restore materialization).
-  Result<std::vector<uint64_t>> BlocksAtEpoch(uint64_t epoch, Oid oid);
+  [[nodiscard]] Result<std::vector<uint64_t>> BlocksAtEpoch(uint64_t epoch, Oid oid);
   // Logical blocks whose contents changed after `since_epoch`, as of
   // `epoch` (extent birth epochs drive incremental checkpoint shipping).
-  Result<std::vector<uint64_t>> ChangedBlocksSince(uint64_t since_epoch, uint64_t epoch,
-                                                   Oid oid);
+  [[nodiscard]] Result<std::vector<uint64_t>> ChangedBlocksSince(uint64_t since_epoch,
+                                                                 uint64_t epoch,
+                                                                 Oid oid);
 
   // --- Checkpoints ----------------------------------------------------------
   // Seals the current epoch: serializes metadata, writes it COW, then writes
   // the superblock. Returns the durability time (all prior data writes plus
   // the metadata/superblock writes). The caller decides whether to block.
-  Result<SimTime> CommitCheckpoint(const std::string& name);
+  [[nodiscard]] Result<SimTime> CommitCheckpoint(const std::string& name);
   uint64_t current_epoch() const { return epoch_; }
   std::vector<CheckpointInfo> ListCheckpoints() const;
   // Frees blocks only needed by checkpoints older than `epoch`.
-  Status DeleteCheckpointsBefore(uint64_t epoch);
+  [[nodiscard]] Status DeleteCheckpointsBefore(uint64_t epoch);
 
   // --- Journals (sls_journal) ----------------------------------------------
-  Result<Oid> CreateJournal(uint64_t capacity_bytes);
+  [[nodiscard]] Result<Oid> CreateJournal(uint64_t capacity_bytes);
   // Synchronously appends one record; the clock advances to durability.
-  Status JournalAppend(Oid oid, const void* data, uint64_t len);
+  [[nodiscard]] Status JournalAppend(Oid oid, const void* data, uint64_t len);
   // Rewinds the journal. Call only after a CommitCheckpoint so that replay
   // (which trusts the committed generation) matches the durable state.
-  Status JournalReset(Oid oid);
-  Result<std::vector<std::vector<uint8_t>>> JournalReplay(Oid oid);
+  [[nodiscard]] Status JournalReset(Oid oid);
+  [[nodiscard]] Result<std::vector<std::vector<uint8_t>>> JournalReplay(Oid oid);
 
   const StoreStats& stats() const { return stats_; }
   uint64_t FreeBlocks() const;
@@ -184,8 +186,8 @@ class ObjectStore {
     return store_block * DevBlocksPerStoreBlock();
   }
 
-  Result<uint64_t> AllocBlock();
-  Result<uint64_t> AllocContiguous(uint64_t nblocks);
+  [[nodiscard]] Result<uint64_t> AllocBlock();
+  [[nodiscard]] Result<uint64_t> AllocContiguous(uint64_t nblocks);
   void FreeBlock(uint64_t block);
   void KillBlock(uint64_t phys, uint64_t birth);
   bool BitGet(uint64_t block) const;
@@ -194,20 +196,21 @@ class ObjectStore {
   // All device IO funnels through these wrappers so transient faults are
   // retried with the shared bounded policy; hard errors (kCorrupt, bounds)
   // pass through untouched. Offsets are device LBAs / device blocks.
-  Result<SimTime> DevWrite(uint32_t queue, uint64_t lba, const void* data, uint32_t ndev);
-  Result<SimTime> DevRead(uint32_t queue, uint64_t lba, void* out, uint32_t ndev);
-  Status DevWriteSync(uint64_t lba, const void* data, uint32_t ndev);
-  Status DevReadSync(uint64_t lba, void* out, uint32_t ndev);
+  [[nodiscard]] Result<SimTime> DevWrite(uint32_t queue, uint64_t lba, const void* data,
+                                         uint32_t ndev);
+  [[nodiscard]] Result<SimTime> DevRead(uint32_t queue, uint64_t lba, void* out, uint32_t ndev);
+  [[nodiscard]] Status DevWriteSync(uint64_t lba, const void* data, uint32_t ndev);
+  [[nodiscard]] Status DevReadSync(uint64_t lba, void* out, uint32_t ndev);
   // End-to-end integrity: checks a full store block just read against the
   // CRC recorded when its extent was written. kCorrupt on mismatch.
-  Status VerifyBlockCrc(const Extent& extent, const uint8_t* data);
+  [[nodiscard]] Status VerifyBlockCrc(const Extent& extent, const uint8_t* data);
 
   std::vector<uint8_t> SerializeMeta() const;
-  Status DeserializeMeta(const std::vector<uint8_t>& blob);
-  Status WriteSuperblock(uint64_t meta_block, uint64_t meta_len, SimTime* done);
-  Status RecoverJournalOffsets();
+  [[nodiscard]] Status DeserializeMeta(const std::vector<uint8_t>& blob);
+  [[nodiscard]] Status WriteSuperblock(uint64_t meta_block, uint64_t meta_len, SimTime* done);
+  [[nodiscard]] Status RecoverJournalOffsets();
 
-  Result<const ObjectInfo*> LoadEpochTable(uint64_t epoch, Oid oid);
+  [[nodiscard]] Result<const ObjectInfo*> LoadEpochTable(uint64_t epoch, Oid oid);
 
   // Picks the submission queue for the next flush-path store block and
   // mirrors per-lane occupancy into the metrics registry.

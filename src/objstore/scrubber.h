@@ -66,9 +66,9 @@ class Scrubber {
   explicit Scrubber(ObjectStore* store) : store_(store) {}
 
   // Scrubs every committed checkpoint, oldest first.
-  Result<ScrubReport> ScrubAll();
+  [[nodiscard]] Result<ScrubReport> ScrubAll();
   // Scrubs one committed epoch; kNotFound if it is not in the directory.
-  Result<ScrubEpochVerdict> ScrubEpoch(uint64_t epoch);
+  [[nodiscard]] Result<ScrubEpochVerdict> ScrubEpoch(uint64_t epoch);
 
  private:
   ScrubEpochVerdict ScrubRecord(uint64_t epoch, const std::string& name, uint64_t meta_block,

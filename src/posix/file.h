@@ -78,12 +78,13 @@ class FdTable {
   // Installs `desc` at the lowest free fd; returns the fd.
   int Install(std::shared_ptr<FileDescription> desc, bool cloexec = false);
   // dup2 semantics: closes `fd` if open, then installs there.
-  Status InstallAt(int fd, std::shared_ptr<FileDescription> desc, bool cloexec = false);
+  [[nodiscard]] Status InstallAt(int fd, std::shared_ptr<FileDescription> desc,
+                                 bool cloexec = false);
 
-  Result<std::shared_ptr<FileDescription>> Get(int fd) const;
-  Status Close(int fd);
+  [[nodiscard]] Result<std::shared_ptr<FileDescription>> Get(int fd) const;
+  [[nodiscard]] Status Close(int fd);
 
-  Result<int> Dup(int fd);
+  [[nodiscard]] Result<int> Dup(int fd);
 
   // fork(): the table is copied, the descriptions are shared.
   FdTable Clone() const;

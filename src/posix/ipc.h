@@ -23,8 +23,8 @@ class Pipe : public FileObject {
 
   FileType type() const override { return FileType::kPipe; }
 
-  Result<uint64_t> Write(const void* data, uint64_t len);
-  Result<uint64_t> Read(void* out, uint64_t len);
+  [[nodiscard]] Result<uint64_t> Write(const void* data, uint64_t len);
+  [[nodiscard]] Result<uint64_t> Read(void* out, uint64_t len);
 
   bool read_open = true;
   bool write_open = true;

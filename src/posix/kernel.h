@@ -37,28 +37,29 @@ class Kernel {
   SimContext* sim() { return sim_; }
 
   // --- Processes ----------------------------------------------------------
-  Result<Process*> CreateProcess(const std::string& name);
-  Result<Process*> Fork(Process& parent);
+  [[nodiscard]] Result<Process*> CreateProcess(const std::string& name);
+  [[nodiscard]] Result<Process*> Fork(Process& parent);
   // Creates a process with reserved (checkpoint-time) IDs: the restore path.
-  Result<Process*> CreateProcessForRestore(const std::string& name, uint64_t local_pid);
+  [[nodiscard]] Result<Process*> CreateProcessForRestore(const std::string& name,
+                                                         uint64_t local_pid);
   void DestroyProcess(Process* proc);
   Process* FindPid(uint64_t pid);
   Process* FindLocalPid(uint64_t local_pid);
   std::vector<Process*> AllProcesses();
 
-  Result<uint64_t> AllocateTid() { return tid_alloc_.Allocate(); }
+  [[nodiscard]] Result<uint64_t> AllocateTid() { return tid_alloc_.Allocate(); }
   void ReleaseTid(uint64_t tid) { tid_alloc_.Release(tid); }
 
   // Routes a signal by the pid the *application* knows (the local pid),
   // which is why the paper virtualizes ID allocation.
-  Status Kill(uint64_t local_pid, int signo);
+  [[nodiscard]] Status Kill(uint64_t local_pid, int signo);
 
   // exit(2): the process becomes a zombie (or is reaped immediately if it
   // has no parent); the parent receives SIGCHLD.
   void Exit(Process* proc, int status);
   // waitpid(2)-lite: reaps one zombie child of `parent`, returning
   // (local_pid, exit_status); kWouldBlock if none has exited.
-  Result<std::pair<uint64_t, int>> WaitAny(Process& parent);
+  [[nodiscard]] Result<std::pair<uint64_t, int>> WaitAny(Process& parent);
 
   // --- Quiescing (paper section 5.1) --------------------------------------
   // Forces every thread of `procs` to the kernel boundary: IPIs to running
@@ -71,25 +72,26 @@ class Kernel {
   void set_rootfs(Filesystem* fs) { rootfs_ = fs; }
   Filesystem* rootfs() { return rootfs_; }
 
-  Result<int> Open(Process& proc, const std::string& path, int flags, bool create);
-  Status Close(Process& proc, int fd);
+  [[nodiscard]] Result<int> Open(Process& proc, const std::string& path, int flags, bool create);
+  [[nodiscard]] Status Close(Process& proc, int fd);
   // read(2)/write(2)/lseek(2): move data through the descriptor, advancing
   // the open-file entry's offset — which fork/dup'd descriptors share.
-  Result<uint64_t> ReadFd(Process& proc, int fd, void* out, uint64_t len);
-  Result<uint64_t> WriteFd(Process& proc, int fd, const void* data, uint64_t len);
-  Result<uint64_t> SeekFd(Process& proc, int fd, int64_t offset, int whence);  // 0=SET 1=CUR 2=END
-  Result<std::pair<int, int>> MakePipe(Process& proc);
-  Result<int> MakeSocket(Process& proc, SocketDomain domain, SocketProto proto);
-  Result<int> MakeKqueue(Process& proc);
+  [[nodiscard]] Result<uint64_t> ReadFd(Process& proc, int fd, void* out, uint64_t len);
+  [[nodiscard]] Result<uint64_t> WriteFd(Process& proc, int fd, const void* data, uint64_t len);
+  [[nodiscard]] Result<uint64_t> SeekFd(Process& proc, int fd, int64_t offset,
+                                        int whence);  // 0=SET 1=CUR 2=END
+  [[nodiscard]] Result<std::pair<int, int>> MakePipe(Process& proc);
+  [[nodiscard]] Result<int> MakeSocket(Process& proc, SocketDomain domain, SocketProto proto);
+  [[nodiscard]] Result<int> MakeKqueue(Process& proc);
   // Returns {master_fd, slave_fd}.
-  Result<std::pair<int, int>> MakePty(Process& proc);
+  [[nodiscard]] Result<std::pair<int, int>> MakePty(Process& proc);
 
   // --- Shared memory namespaces -------------------------------------------
-  Result<int> ShmOpen(Process& proc, const std::string& name, uint64_t size);
-  Result<int> ShmGet(Process& proc, int32_t key, uint64_t size);
+  [[nodiscard]] Result<int> ShmOpen(Process& proc, const std::string& name, uint64_t size);
+  [[nodiscard]] Result<int> ShmGet(Process& proc, int32_t key, uint64_t size);
   // Maps a shm descriptor into the process, always through the descriptor's
   // backmap so post-shadow mappings see the latest object.
-  Result<uint64_t> ShmMap(Process& proc, int fd);
+  [[nodiscard]] Result<uint64_t> ShmMap(Process& proc, int fd);
   // System shadowing's backmap hook: replaces `old_top` in every shm
   // descriptor (scanning the SysV namespace is what makes its checkpoint
   // slower than POSIX shm in Table 4).
@@ -106,14 +108,14 @@ class Kernel {
     return posix_shm_;
   }
   const std::map<int32_t, std::shared_ptr<SharedMemory>>& sysv_shm() const { return sysv_shm_; }
-  Result<std::shared_ptr<SharedMemory>> FindSysVById(int32_t shmid);
+  [[nodiscard]] Result<std::shared_ptr<SharedMemory>> FindSysVById(int32_t shmid);
 
   // --- Devices -------------------------------------------------------------
   // Whitelisted memory-mappable devices (HPET et al.) and the vDSO.
   bool DeviceWhitelisted(const std::string& devname) const {
     return device_whitelist_.count(devname) > 0;
   }
-  Result<int> OpenDevice(Process& proc, const std::string& devname);
+  [[nodiscard]] Result<int> OpenDevice(Process& proc, const std::string& devname);
   const std::shared_ptr<VmObject>& vdso() const { return vdso_; }
   // Swaps in a "new platform" vDSO: restores inject the current one.
   void RegenerateVdso();

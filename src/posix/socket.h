@@ -83,20 +83,20 @@ class Socket : public FileObject, public std::enable_shared_from_this<Socket> {
   std::weak_ptr<Socket> peer;
 
   // --- Operations ---------------------------------------------------------
-  Status Bind(const SockAddr& addr);
-  Status Listen(int backlog_hint);
+  [[nodiscard]] Status Bind(const SockAddr& addr);
+  [[nodiscard]] Status Listen(int backlog_hint);
 
   // Establishes a connection to a listening socket: creates the server-side
   // endpoint and places it on the accept queue.
-  Result<std::shared_ptr<Socket>> ConnectTo(const std::shared_ptr<Socket>& listener);
-  Result<std::shared_ptr<Socket>> Accept();
+  [[nodiscard]] Result<std::shared_ptr<Socket>> ConnectTo(const std::shared_ptr<Socket>& listener);
+  [[nodiscard]] Result<std::shared_ptr<Socket>> Accept();
 
   // Datagram/stream send to the connected peer. Returns bytes queued.
-  Result<uint64_t> Send(const void* data, uint64_t len,
-                        std::optional<ControlMessage> control = std::nullopt);
+  [[nodiscard]] Result<uint64_t> Send(const void* data, uint64_t len,
+                                      std::optional<ControlMessage> control = std::nullopt);
   // Receives one segment (datagram) or up to len stream bytes. A peer that
   // shut down yields a zero-length segment (EOF) once the buffer drains.
-  Result<SockSegment> Recv(uint64_t max_len);
+  [[nodiscard]] Result<SockSegment> Recv(uint64_t max_len);
 
   // shutdown(2)/close(2): stops transmission and signals EOF to the peer.
   // Buffered data stays readable; further sends fail with EPIPE-like errors.
@@ -106,7 +106,7 @@ class Socket : public FileObject, public std::enable_shared_from_this<Socket> {
   bool HasData() const { return !recv_buf.empty(); }
 
  private:
-  Status DeliverTo(Socket& dst, SockSegment segment);
+  [[nodiscard]] Status DeliverTo(Socket& dst, SockSegment segment);
 
   SocketDomain domain_;
   SocketProto proto_;

@@ -44,10 +44,10 @@ class Vnode : public FileObject {
     }
   }
 
-  Result<uint64_t> Read(uint64_t off, void* out, uint64_t len);
-  Result<uint64_t> Write(uint64_t off, const void* data, uint64_t len);
-  Status Truncate(uint64_t new_size);
-  Status Fsync();
+  [[nodiscard]] Result<uint64_t> Read(uint64_t off, void* out, uint64_t len);
+  [[nodiscard]] Result<uint64_t> Write(uint64_t off, const void* data, uint64_t len);
+  [[nodiscard]] Status Truncate(uint64_t new_size);
+  [[nodiscard]] Status Fsync();
 
   // Builds a VM object whose pager demand-loads pages from this vnode, for
   // mmap. MAP_PRIVATE callers shadow the returned object.
@@ -69,23 +69,25 @@ class Filesystem {
 
   // Namespace operations. Paths are flat names (the benchmarks and the SLS
   // need a namespace, not a hierarchy).
-  virtual Result<std::shared_ptr<Vnode>> Create(const std::string& path) = 0;
-  virtual Result<std::shared_ptr<Vnode>> Lookup(const std::string& path) = 0;
-  virtual Status Unlink(const std::string& path) = 0;
-  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  [[nodiscard]] virtual Result<std::shared_ptr<Vnode>> Create(const std::string& path) = 0;
+  [[nodiscard]] virtual Result<std::shared_ptr<Vnode>> Lookup(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Unlink(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual std::vector<std::string> List() const = 0;
 
   // Aurora checkpoints vnodes by inode number to avoid name-cache lookups
   // during stop time; baselines resolve paths (bench_ablations measures the
   // difference).
-  virtual Result<std::shared_ptr<Vnode>> LookupByIno(uint64_t ino) = 0;
-  virtual Result<std::string> PathOfIno(uint64_t ino) const = 0;
+  [[nodiscard]] virtual Result<std::shared_ptr<Vnode>> LookupByIno(uint64_t ino) = 0;
+  [[nodiscard]] virtual Result<std::string> PathOfIno(uint64_t ino) const = 0;
 
   // Data operations.
-  virtual Result<uint64_t> ReadAt(Vnode* vn, uint64_t off, void* out, uint64_t len) = 0;
-  virtual Result<uint64_t> WriteAt(Vnode* vn, uint64_t off, const void* data, uint64_t len) = 0;
-  virtual Status Truncate(Vnode* vn, uint64_t new_size) = 0;
-  virtual Status Fsync(Vnode* vn) = 0;
+  [[nodiscard]] virtual Result<uint64_t> ReadAt(Vnode* vn, uint64_t off, void* out,
+                                                uint64_t len) = 0;
+  [[nodiscard]] virtual Result<uint64_t> WriteAt(Vnode* vn, uint64_t off, const void* data,
+                                                 uint64_t len) = 0;
+  [[nodiscard]] virtual Status Truncate(Vnode* vn, uint64_t new_size) = 0;
+  [[nodiscard]] virtual Status Fsync(Vnode* vn) = 0;
 };
 
 }  // namespace aurora

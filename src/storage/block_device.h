@@ -61,19 +61,21 @@ class BlockDevice {
   // (host memory); the returned SimTime is when the device reports
   // completion. Callers that need durability wait for it (WriteSync) or
   // collect completion times and wait for the max (async checkpoint flush).
-  virtual Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) = 0;
-  virtual Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) = 0;
+  [[nodiscard]] virtual Result<SimTime> WriteAsync(uint64_t lba, const void* data,
+                                                   uint32_t nblocks) = 0;
+  [[nodiscard]] virtual Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) = 0;
 
   // Multi-queue submission: like Write/ReadAsync but on submission queue
   // `queue` (modulo the configured queue count). Queues have independent
   // timelines, so I/Os on different queues pipeline; the plain entry points
   // are queue 0. Devices that do not model queues ignore the hint.
-  virtual Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
-                                       uint32_t nblocks) {
+  [[nodiscard]] virtual Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                                     uint32_t nblocks) {
     (void)queue;
     return WriteAsync(lba, data, nblocks);
   }
-  virtual Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) {
+  [[nodiscard]] virtual Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out,
+                                                    uint32_t nblocks) {
     (void)queue;
     return ReadAsync(lba, out, nblocks);
   }
@@ -81,8 +83,8 @@ class BlockDevice {
   // preserved where possible; a no-op on devices without queue modeling.
   virtual void SetQueueCount(uint32_t queues) { (void)queues; }
 
-  Status WriteSync(uint64_t lba, const void* data, uint32_t nblocks);
-  Status ReadSync(uint64_t lba, void* out, uint32_t nblocks);
+  [[nodiscard]] Status WriteSync(uint64_t lba, const void* data, uint32_t nblocks);
+  [[nodiscard]] Status ReadSync(uint64_t lba, void* out, uint32_t nblocks);
 
   // Attaches a deterministic fault-injection profile (see fault_injector.h),
   // replacing any previous one. Striped devices fan the rules out to every
@@ -115,11 +117,13 @@ class MemBlockDevice : public BlockDevice {
   uint32_t block_size() const override { return block_size_; }
   uint64_t block_count() const override { return block_count_; }
 
-  Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) override;
-  Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
-  Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
-                               uint32_t nblocks) override;
-  Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> WriteAsync(uint64_t lba, const void* data,
+                                           uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                             uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out,
+                                            uint32_t nblocks) override;
   void SetQueueCount(uint32_t queues) override;
 
   SimClock* clock() override { return clock_; }
@@ -192,11 +196,13 @@ class StripedDevice : public BlockDevice {
   uint32_t block_size() const override { return block_size_; }
   uint64_t block_count() const override { return block_count_; }
 
-  Result<SimTime> WriteAsync(uint64_t lba, const void* data, uint32_t nblocks) override;
-  Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
-  Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
-                               uint32_t nblocks) override;
-  Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out, uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> WriteAsync(uint64_t lba, const void* data,
+                                           uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> ReadAsync(uint64_t lba, void* out, uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> WriteAsyncOn(uint32_t queue, uint64_t lba, const void* data,
+                                             uint32_t nblocks) override;
+  [[nodiscard]] Result<SimTime> ReadAsyncOn(uint32_t queue, uint64_t lba, void* out,
+                                            uint32_t nblocks) override;
   void SetQueueCount(uint32_t queues) override;
 
   SimClock* clock() override { return children_[0]->clock(); }
@@ -214,7 +220,7 @@ class StripedDevice : public BlockDevice {
   std::pair<size_t, uint64_t> MapBlock(uint64_t lba) const;
 
   template <typename Op>
-  Result<SimTime> ForEachRun(uint64_t lba, uint32_t nblocks, Op op);
+  [[nodiscard]] Result<SimTime> ForEachRun(uint64_t lba, uint32_t nblocks, Op op);
 
   std::vector<std::unique_ptr<BlockDevice>> children_;
   uint32_t stripe_blocks_;

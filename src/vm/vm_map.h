@@ -57,34 +57,35 @@ class VmMap {
 
   // Maps `object` at `hint` (or the next free range if hint is 0 or busy).
   // Returns the chosen start address.
-  Result<uint64_t> Map(uint64_t hint, uint64_t size, int prot, std::shared_ptr<VmObject> object,
-                       uint64_t offset, bool copy_on_write);
-  Status Unmap(uint64_t start, uint64_t size);
-  Status Protect(uint64_t start, uint64_t size, int prot);
+  [[nodiscard]] Result<uint64_t> Map(uint64_t hint, uint64_t size, int prot,
+                                     std::shared_ptr<VmObject> object,
+                                     uint64_t offset, bool copy_on_write);
+  [[nodiscard]] Status Unmap(uint64_t start, uint64_t size);
+  [[nodiscard]] Status Protect(uint64_t start, uint64_t size, int prot);
 
   VmMapEntry* FindEntry(uint64_t addr);
   // Sets the advisory paging hint for the entry containing `addr`.
-  Status Advise(uint64_t addr, int hint);
+  [[nodiscard]] Status Advise(uint64_t addr, int hint);
   const std::map<uint64_t, VmMapEntry>& entries() const { return entries_; }
   std::map<uint64_t, VmMapEntry>& entries() { return entries_; }
 
   // Handles a page fault at `addr`. Returns the pmap entry installed.
-  Result<Pmap::Entry*> Fault(uint64_t addr, bool write);
+  [[nodiscard]] Result<Pmap::Entry*> Fault(uint64_t addr, bool write);
 
   // Memory accessors used by simulated applications; they fault as needed
   // and really move bytes, so checkpoint/restore correctness is observable.
-  Status Write(uint64_t addr, const void* data, uint64_t len);
-  Status Read(uint64_t addr, void* out, uint64_t len);
+  [[nodiscard]] Status Write(uint64_t addr, const void* data, uint64_t len);
+  [[nodiscard]] Status Read(uint64_t addr, void* out, uint64_t len);
 
   // Touches one byte per page in [addr, addr+len) with writes (workload
   // helper for dirtying memory at page granularity cheaply).
-  Status DirtyRange(uint64_t addr, uint64_t len);
+  [[nodiscard]] Status DirtyRange(uint64_t addr, uint64_t len);
 
   // fork(): clones the address space. Shared entries alias the same object;
   // private (COW) entries get a fresh shadow on *both* sides and the
   // parent's stale translations are invalidated, charging fork's per-page
   // cost (this is what the RDB baseline's 8 ms stop time is made of).
-  Result<std::unique_ptr<VmMap>> Fork();
+  [[nodiscard]] Result<std::unique_ptr<VmMap>> Fork();
 
   Pmap& pmap() { return pmap_; }
   const VmFaultStats& fault_stats() const { return fault_stats_; }
@@ -94,7 +95,7 @@ class VmMap {
   uint64_t ResidentPages() const;
 
  private:
-  Result<uint64_t> FindFreeRange(uint64_t hint, uint64_t size) const;
+  [[nodiscard]] Result<uint64_t> FindFreeRange(uint64_t hint, uint64_t size) const;
 
   SimContext* sim_;
   std::map<uint64_t, VmMapEntry> entries_;

@@ -109,7 +109,7 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
   // Ensures this object has its own copy of page `pgidx`, copying from the
   // chain below (or the pager / zero fill) if needed. This is the COW copy
   // step of a write fault. Returns the page. Fails on frozen objects.
-  Result<VmPage*> EnsureLocalPage(uint64_t pgidx);
+  [[nodiscard]] Result<VmPage*> EnsureLocalPage(uint64_t pgidx);
 
   // Inserts/overwrites a page with the given contents (restore path).
   VmPage* InstallPage(uint64_t pgidx, const uint8_t* data);
@@ -128,13 +128,13 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
   // shadow_count == 1; absorb the parent's pages into *this* (skipping
   // offsets this object already has) and splice the parent out of the chain.
   // Cost scales with the parent's resident pages.
-  Status CollapseClassic(const CostModel& cost, SimClock* clock);
+  [[nodiscard]] Status CollapseClassic(const CostModel& cost, SimClock* clock);
 
   // Aurora's reversed collapse: move *this* object's (few) pages down into
   // the parent, overwriting, then callers splice this object out by
   // repointing references to the parent. Only legal when the parent is
   // exclusively ours. Cost scales with this object's resident pages.
-  Status CollapseReversedIntoParent(const CostModel& cost, SimClock* clock);
+  [[nodiscard]] Status CollapseReversedIntoParent(const CostModel& cost, SimClock* clock);
 
   void set_pager(Pager pager) { pager_ = std::move(pager); }
   bool has_pager() const { return static_cast<bool>(pager_); }

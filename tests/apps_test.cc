@@ -94,7 +94,7 @@ TEST_F(MemTableTest, RecoverFromArenaRebuildsIndex) {
 
 TEST_F(MemTableTest, ClearResetsArena) {
   ASSERT_TRUE(table_->Put("k", "v").ok());
-  table_->Clear();
+  ASSERT_TRUE(table_->Clear().ok());
   EXPECT_EQ(table_->bytes_used(), 0u);
   EXPECT_FALSE(table_->Get("k").has_value());
   MemTable rebuilt(&sim_, &map_, addr_, 4 * kMiB);

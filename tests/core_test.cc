@@ -93,7 +93,7 @@ TEST(SlsCheckpoint, SurvivesRebootWithFullOsState) {
 
   auto [rfd, wfd] = *m.kernel->MakePipe(*proc);
   auto pipe_desc = *proc->fds().Get(wfd);
-  static_cast<Pipe*>(pipe_desc->object.get())->Write("inflight", 8);
+  ASSERT_TRUE(static_cast<Pipe*>(pipe_desc->object.get())->Write("inflight", 8).ok());
 
   int sock_fd = *m.kernel->MakeSocket(*proc, SocketDomain::kInet, SocketProto::kTcp);
   auto sock_desc = *proc->fds().Get(sock_fd);

@@ -345,7 +345,7 @@ TEST(SocketIntegration, InFlightFdPassingSurvivesRestore) {
   // A pipe whose write end is in flight over a UNIX socket at checkpoint.
   auto [rfd, wfd] = *m.kernel->MakePipe(*sender);
   auto wdesc = *sender->fds().Get(wfd);
-  static_cast<Pipe*>(wdesc->object.get())->Write("in-pipe", 7);
+  ASSERT_TRUE(static_cast<Pipe*>(wdesc->object.get())->Write("in-pipe", 7).ok());
 
   int lsock_fd = *m.kernel->MakeSocket(*receiver, SocketDomain::kUnix, SocketProto::kTcp);
   auto* listener = static_cast<Socket*>((*receiver->fds().Get(lsock_fd))->object.get());

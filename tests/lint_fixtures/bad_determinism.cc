@@ -1,0 +1,36 @@
+// Violations for the determinism family. Line numbers are asserted by
+// lint_test — keep the markers in sync when editing.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace aurora::lintfix {
+
+inline long WallClockNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // line 11: wall-clock
+}
+
+inline long HostTime() {
+  return time(nullptr);  // line 15: wall-clock
+}
+
+inline int HostRandom() {
+  std::random_device rd;  // line 19: unseeded-random
+  return rand() + static_cast<int>(rd());  // line 20: unseeded-random
+}
+
+inline const char* BuildStamp() {
+  return __DATE__ " " __TIME__;  // line 24: build-timestamp (twice)
+}
+
+inline long Legal(long (*cb)()) {
+  // Declaring a function named like a banned call needs an explicit waiver;
+  // *member calls* through it (w.time()) are then legal as-is.
+  struct W {
+    long time() { return 7; }  // aurora-lint: allow(wall-clock)
+  } w;
+  return w.time() + cb();
+}
+
+}  // namespace aurora::lintfix

@@ -1,0 +1,33 @@
+// Violations for the error-propagation family. Line numbers are asserted by
+// lint_test — keep the markers in sync when editing.
+#ifndef TESTS_LINT_FIXTURES_BAD_ERROR_PROPAGATION_H_
+#define TESTS_LINT_FIXTURES_BAD_ERROR_PROPAGATION_H_
+
+#include "src/base/result.h"
+
+namespace aurora::lintfix {
+
+class [[nodiscard]] Status;  // forward declaration: no finding
+
+class Status {  // line 12: nodiscard-type
+ public:
+  bool ok() const { return true; }
+};
+
+class Sink {
+ public:
+  Status Commit();                        // line 19: nodiscard-api
+  virtual Result<int> Take(int n);        // line 20: nodiscard-api
+  [[nodiscard]] Status Annotated();       // fine
+  virtual ~Sink() = default;
+};
+
+inline void Drops(Sink* s) {
+  (void)s->Commit();                      // line 26: void-cast
+  static_cast<void>(s->Commit());         // line 27: void-cast
+  AURORA_IGNORE_STATUS(s->Commit(), "");  // line 28: ignore-reason
+}
+
+}  // namespace aurora::lintfix
+
+#endif  // TESTS_LINT_FIXTURES_BAD_ERROR_PROPAGATION_H_

@@ -1,0 +1,4 @@
+// A header with no include guard: hygiene/include-guard fires (line 1).
+namespace aurora::lintfix {
+inline int GuardlessAnswer() { return 42; }
+}  // namespace aurora::lintfix

@@ -1,0 +1,17 @@
+// Violations for the hygiene family (output side). Line numbers are asserted
+// by lint_test — keep the markers in sync when editing.
+#include <cstdio>
+#include <iostream>
+
+namespace aurora::lintfix {
+
+inline void Noisy(int n) {
+  std::cout << "progress: " << n << "\n";  // line 9: stdout-in-library
+  printf("progress: %d\n", n);             // line 10: stdout-in-library
+  fprintf(stdout, "progress: %d\n", n);    // line 11: stdout-in-library
+  fprintf(stderr, "errors are fine\n");    // stderr diagnostics stay legal
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%d", n);     // formatting to buffers stays legal
+}
+
+}  // namespace aurora::lintfix

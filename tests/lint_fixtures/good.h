@@ -1,0 +1,49 @@
+// A header aurora_lint must accept without findings: guarded, every
+// Status/Result API [[nodiscard]], discards audited, time and randomness
+// simulated.
+#ifndef TESTS_LINT_FIXTURES_GOOD_H_
+#define TESTS_LINT_FIXTURES_GOOD_H_
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+
+namespace aurora::lintfix {
+
+class Flusher {
+ public:
+  [[nodiscard]] Status Flush();
+  [[nodiscard]] virtual Result<uint64_t> Drain(uint64_t max);
+  [[nodiscard]] static Status Sync(int fd);
+  virtual ~Flusher() = default;
+
+  // Not Status-returning: no annotation demanded.
+  uint64_t pending() const { return pending_; }
+  void Reset() { pending_ = 0; }
+
+ private:
+  uint64_t pending_ = 0;
+};
+
+inline void AuditedDrop(Flusher* f) {
+  // The sanctioned discard: macro + reason. A bare (void) here would be a
+  // void-cast finding.
+  AURORA_IGNORE_STATUS(f->Flush(), "best-effort flush on shutdown path");
+  // Parameter silencing without a call stays legal.
+  int unused = 0;
+  (void)unused;
+}
+
+inline uint64_t SeededDraw(Rng* rng, SimClock* clock) {
+  // Simulated time + seeded randomness are the approved sources.
+  return rng->Next() ^ static_cast<uint64_t>(clock->now());
+}
+
+// Suppression comments keep a deliberate exception visible at the call site.
+inline void SuppressedDrop(Flusher* f) {
+  (void)f->Flush();  // aurora-lint: allow(void-cast)
+}
+
+}  // namespace aurora::lintfix
+
+#endif  // TESTS_LINT_FIXTURES_GOOD_H_

@@ -1,0 +1,138 @@
+// aurora_lint's own conformance suite: each rule family must fire on its
+// violating fixture with exactly the expected findings, the good fixture must
+// come back empty, and — the repo gate — the real src/ tree must lint clean.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/aurora_lint/lint.h"
+
+namespace aurora::lint {
+namespace {
+
+#ifndef AURORA_SOURCE_DIR
+#error "AURORA_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string Fixture(const std::string& name) {
+  return std::string(AURORA_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+Options DefaultOptions() {
+  Options opts;
+  opts.AddDefaultExemptions();
+  return opts;
+}
+
+// (rule, line) pairs in file order, for exact-match assertions.
+std::vector<std::pair<std::string, int>> RuleLines(const std::vector<Finding>& fs) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) {
+    out.emplace_back(f.rule, f.line);
+  }
+  return out;
+}
+
+TEST(LintTest, GoodFixtureIsClean) {
+  std::vector<Finding> fs = LintPath(Fixture("good.h"), DefaultOptions());
+  for (const Finding& f : fs) {
+    ADD_FAILURE() << "unexpected finding: " << f.ToString();
+  }
+}
+
+TEST(LintTest, ErrorPropagationFamilyFires) {
+  std::vector<Finding> fs = LintPath(Fixture("bad_error_propagation.h"), DefaultOptions());
+  std::vector<std::pair<std::string, int>> expected = {
+      {kRuleNodiscardType, 12}, {kRuleNodiscardApi, 19}, {kRuleNodiscardApi, 20},
+      {kRuleVoidCast, 26},      {kRuleVoidCast, 27},     {kRuleIgnoreReason, 28},
+  };
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::pair<std::string, int>> got = RuleLines(fs);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LintTest, DeterminismFamilyFires) {
+  std::vector<Finding> fs = LintPath(Fixture("bad_determinism.cc"), DefaultOptions());
+  std::vector<std::pair<std::string, int>> expected = {
+      {kRuleWallClock, 11},      {kRuleWallClock, 15},      {kRuleUnseededRandom, 19},
+      {kRuleUnseededRandom, 20}, {kRuleBuildTimestamp, 24}, {kRuleBuildTimestamp, 24},
+  };
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::pair<std::string, int>> got = RuleLines(fs);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LintTest, HygieneOutputFires) {
+  std::vector<Finding> fs = LintPath(Fixture("bad_hygiene.cc"), DefaultOptions());
+  std::vector<std::pair<std::string, int>> expected = {
+      {kRuleStdoutInLibrary, 9},
+      {kRuleStdoutInLibrary, 10},
+      {kRuleStdoutInLibrary, 11},
+  };
+  EXPECT_EQ(RuleLines(fs), expected);
+}
+
+TEST(LintTest, HygieneGuardFires) {
+  std::vector<Finding> fs = LintPath(Fixture("bad_guard.h"), DefaultOptions());
+  std::vector<std::pair<std::string, int>> expected = {{kRuleIncludeGuard, 1}};
+  EXPECT_EQ(RuleLines(fs), expected);
+}
+
+TEST(LintTest, OutputExemptionCoversObsAndCli) {
+  // The same noisy source is a finding in library code but exempt under the
+  // default src/obs + CLI carve-outs.
+  const std::string noisy = "#include <cstdio>\nvoid P() { printf(\"x\"); }\n";
+  Options opts = DefaultOptions();
+  EXPECT_EQ(LintFile("src/core/sls.cc", noisy, opts).size(), 1u);
+  EXPECT_TRUE(LintFile("src/obs/exporter.cc", noisy, opts).empty());
+  EXPECT_TRUE(LintFile("src/core/cli.cc", noisy, opts).empty());
+}
+
+TEST(LintTest, FamilyFilterRestrictsRules) {
+  Options opts = DefaultOptions();
+  opts.families = {"hygiene"};
+  std::vector<Finding> fs = LintPath(Fixture("bad_determinism.cc"), opts);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintTest, SuppressionCommentSilencesFinding) {
+  const std::string src =
+      "#include <ctime>\n"
+      "long A() { return time(nullptr); }  // aurora-lint: allow(wall-clock)\n"
+      "long B() { return time(nullptr); }  // aurora-lint: allow(determinism)\n"
+      "long C() { return time(nullptr); }\n";
+  std::vector<Finding> fs = LintFile("src/x.cc", src, DefaultOptions());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_EQ(fs[0].rule, kRuleWallClock);
+}
+
+// The permanent repo gate: the shipped source tree must be finding-free. CI
+// also runs the aurora_lint binary, but asserting it here keeps the gate
+// inside `ctest` where every developer runs it.
+TEST(LintTest, SourceTreeIsClean) {
+  std::vector<Finding> fs = LintTree(std::string(AURORA_SOURCE_DIR) + "/src", DefaultOptions());
+  for (const Finding& f : fs) {
+    ADD_FAILURE() << f.ToString();
+  }
+}
+
+// The lint tool lints itself — the tokenizer and rules live under tools/.
+TEST(LintTest, LintToolIsClean) {
+  Options opts = DefaultOptions();
+  // The CLI prints usage with fprintf(stderr) and findings likewise; lint.cc
+  // itself must not write to stdout either, so no extra exemptions.
+  std::vector<Finding> fs =
+      LintTree(std::string(AURORA_SOURCE_DIR) + "/tools", opts);
+  for (const Finding& f : fs) {
+    ADD_FAILURE() << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace aurora::lint

@@ -1,0 +1,86 @@
+// aurora_lint — project-specific static analysis for the Aurora tree.
+//
+// A deliberately small, dependency-free pass (a hand-rolled tokenizer, no
+// libclang) that enforces the three contracts Aurora's correctness story
+// rests on:
+//
+//   error-propagation  Status / Result<T> must be [[nodiscard]]; every
+//                      header-declared function returning them must carry
+//                      the attribute; discarding a call result requires
+//                      AURORA_IGNORE_STATUS(expr, "reason") — bare (void)
+//                      casts of calls are rejected.
+//   determinism        src/ must not reach for wall clocks or unseeded
+//                      randomness (std::chrono::{system,steady,
+//                      high_resolution}_clock, time(), rand(), srand(),
+//                      random_device, gettimeofday, clock_gettime,
+//                      __DATE__/__TIME__). Simulated time flows through
+//                      SimClock, randomness through aurora::Rng.
+//   hygiene            no std::cout / printf / fprintf(stdout, ...) in
+//                      library code (src/obs and the CLI are exempt), and
+//                      every header carries an include guard.
+//
+// A finding on a line can be suppressed with a trailing comment:
+//   // aurora-lint: allow(<rule-or-family>)
+#ifndef TOOLS_AURORA_LINT_LINT_H_
+#define TOOLS_AURORA_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace aurora::lint {
+
+// Stable rule identifiers, grouped by family.
+// error-propagation family:
+inline constexpr char kRuleNodiscardType[] = "error-propagation/nodiscard-type";
+inline constexpr char kRuleNodiscardApi[] = "error-propagation/nodiscard-api";
+inline constexpr char kRuleVoidCast[] = "error-propagation/void-cast";
+inline constexpr char kRuleIgnoreReason[] = "error-propagation/ignore-reason";
+// determinism family:
+inline constexpr char kRuleWallClock[] = "determinism/wall-clock";
+inline constexpr char kRuleUnseededRandom[] = "determinism/unseeded-random";
+inline constexpr char kRuleBuildTimestamp[] = "determinism/build-timestamp";
+// hygiene family:
+inline constexpr char kRuleStdoutInLibrary[] = "hygiene/stdout-in-library";
+inline constexpr char kRuleIncludeGuard[] = "hygiene/include-guard";
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // one of the kRule* identifiers above
+  std::string message;  // human-readable description
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+struct Options {
+  // Rule families to run; empty means all. Valid entries: "error-propagation",
+  // "determinism", "hygiene".
+  std::vector<std::string> families;
+  // Path substrings exempt from the stdout-in-library rule. Callers that want
+  // the defaults (src/obs/, src/core/cli.cc) should call AddDefaultExemptions.
+  std::vector<std::string> output_exempt_paths;
+
+  void AddDefaultExemptions();
+  [[nodiscard]] bool FamilyEnabled(const std::string& family) const;
+};
+
+// Lints one file whose contents are already in memory. `path` is used for
+// reporting and for path-based rule decisions (headers vs sources, output
+// exemptions).
+[[nodiscard]] std::vector<Finding> LintFile(const std::string& path,
+                                            const std::string& contents,
+                                            const Options& opts);
+
+// Reads `path` from disk and lints it. Returns a finding (not an error) if
+// the file cannot be read, so tree runs keep going.
+[[nodiscard]] std::vector<Finding> LintPath(const std::string& path,
+                                            const Options& opts);
+
+// Recursively lints every *.h / *.cc under `root` (or the single file if
+// `root` is one), sorted for deterministic output.
+[[nodiscard]] std::vector<Finding> LintTree(const std::string& root,
+                                            const Options& opts);
+
+}  // namespace aurora::lint
+
+#endif  // TOOLS_AURORA_LINT_LINT_H_

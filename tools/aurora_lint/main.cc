@@ -1,0 +1,66 @@
+// aurora_lint CLI. Exit code 0 = clean, 1 = findings, 2 = usage error.
+//
+//   aurora_lint [options] <file-or-dir>...
+//     --rules=<family>[,<family>]  run only the listed rule families
+//                                  (error-propagation, determinism, hygiene)
+//     --allow-output=<substr>      extra path exempt from hygiene/stdout rule
+//     --no-default-exemptions      drop the built-in src/obs + CLI exemptions
+//     -q, --quiet                  suppress per-finding lines
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/aurora_lint/lint.h"
+
+int main(int argc, char** argv) {
+  aurora::lint::Options opts;
+  std::vector<std::string> roots;
+  bool quiet = false;
+  bool default_exemptions = true;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--rules=", 0) == 0) {
+      std::istringstream ss(arg.substr(8));
+      std::string fam;
+      while (std::getline(ss, fam, ',')) {
+        if (fam != "error-propagation" && fam != "determinism" && fam != "hygiene") {
+          std::fprintf(stderr, "aurora_lint: unknown rule family '%s'\n", fam.c_str());
+          return 2;
+        }
+        opts.families.push_back(fam);
+      }
+    } else if (arg.rfind("--allow-output=", 0) == 0) {
+      opts.output_exempt_paths.push_back(arg.substr(15));
+    } else if (arg == "--no-default-exemptions") {
+      default_exemptions = false;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "aurora_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: aurora_lint [--rules=...] [--allow-output=...] <file-or-dir>...\n");
+    return 2;
+  }
+  if (default_exemptions) opts.AddDefaultExemptions();
+
+  size_t total = 0;
+  for (const std::string& root : roots) {
+    for (const aurora::lint::Finding& f : aurora::lint::LintTree(root, opts)) {
+      total++;
+      if (!quiet) std::fprintf(stderr, "%s\n", f.ToString().c_str());
+    }
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "aurora_lint: %zu finding(s)\n", total);
+    return 1;
+  }
+  return 0;
+}

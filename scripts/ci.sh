@@ -23,6 +23,10 @@ for preset in default asan; do
   # abort): run it by name too.
   "${build_dir}/tests/fault_matrix_test" >/dev/null
 
+  # And the stop-path contract (clean epochs elide protection + shootdowns,
+  # legacy vs incremental images byte-identical, cache invalidation per op).
+  "${build_dir}/tests/stop_path_test" >/dev/null
+
   # Error-propagation / determinism / hygiene gate: the tree must lint clean
   # and the linter must prove its own rules still fire on the fixtures.
   "${build_dir}/tools/aurora_lint/aurora_lint" src tools
@@ -33,7 +37,8 @@ for preset in default asan; do
   # accounting or the retry/abort instrumentation regressed.
   (cd "${build_dir}" && ./bench/bench_ablations >/dev/null)
   for key in flush.lane0.bytes flush.lane0.busy_time flush.lane3.bytes \
-             flush.lane3.busy_time flush.lanes io.retries ckpt.epochs_aborted; do
+             flush.lane3.busy_time flush.lanes io.retries ckpt.epochs_aborted \
+             ckpt.stop_time vm.shootdowns_elided; do
     if ! grep -q "\"${key}\"" "${build_dir}/BENCH_ablations.json"; then
       echo "CI FAIL: ${key} missing from ${build_dir}/BENCH_ablations.json" >&2
       exit 1

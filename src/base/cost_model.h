@@ -24,6 +24,9 @@ struct CostModel {
   SimDuration small_alloc = 60;           // kernel zone allocation
   double mem_copy_bytes_per_ns = 10.0;    // hot memcpy bandwidth (10 GB/s)
   double serialize_bytes_per_ns = 1.8;    // field-by-field serialization
+  // Hash + generation compare against the serialization cache; charged per
+  // entity whose cached blob is reused inside the stopped window.
+  SimDuration serialize_cache_lookup = 90;
 
   // --- MMU / VM primitives ------------------------------------------------
   SimDuration pte_protect = 22;           // write-protect one PTE

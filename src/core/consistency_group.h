@@ -36,6 +36,11 @@ class ConsistencyGroup {
   SimDuration period = 10 * kMillisecond;
   bool external_sync = true;
   bool collapse_reversed = true;  // Aurora's collapse direction (ablatable)
+  // Ablation toggle: reinstate the pre-incremental stopped window — full
+  // write-protect sweeps over every object, one shootdown per address space
+  // regardless of dirtied state, and all OS state serialized inside the stop
+  // (no warm serialization cache).
+  bool legacy_stop_path = false;
 
   // Checkpoint destination. Null means the machine's object store; set a
   // registered backend via Sls::SetBackend before the first checkpoint.

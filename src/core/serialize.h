@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -39,13 +40,57 @@ struct SerializeStats {
 // Assigns (or returns the existing) store OID for a VM object.
 using EnsureOidFn = std::function<Oid(VmObject*)>;
 
+// How a serialization pass charges the cost model. The manifest bytes are
+// identical in every mode; only the simulated time differs.
+enum class SerializeMode {
+  // Single-pass: every entity charged fresh gather + marshal cost inline
+  // (the pre-cache stop-the-world behavior).
+  kLegacy,
+  // Out-of-window warm pass: entities whose generation is unchanged since
+  // the cached blob cost one cache-line touch; changed entities charge
+  // fresh. Fills the cache; the returned manifest is discarded.
+  kWarmCache,
+  // In-window assemble pass: generation-matched entities charge a cache
+  // lookup plus a memcpy of the cached blob instead of the kernel-structure
+  // gather walk; only entities mutated since the warm pass reserialize.
+  kAssemble,
+};
+
+// Per-group cache of serialized entity blobs, keyed by (entity kind, kernel
+// identity) and guarded by the entity's generation counter. A generation
+// match with differing bytes counts as stale (a missed generation bump) and
+// is recharged fresh, so a bookkeeping bug can cost time but never
+// correctness: the emitted manifest always carries freshly-serialized bytes.
+struct SerializeCache {
+  struct Entry {
+    uint64_t gen = 0;
+    std::vector<uint8_t> bytes;
+    uint64_t pass = 0;  // last pass that touched this entry
+  };
+  std::map<std::pair<uint8_t, uint64_t>, Entry> entries;
+  uint64_t pass = 0;
+
+  // Drops entries no pass has touched recently (exited processes, closed
+  // descriptors) so the cache tracks the live entity set.
+  void Prune() {
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (it->second.pass + 2 < pass) {
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
 // Serializes the group's OS state into a manifest blob, charging the cost
-// model for each object gathered (Table 4's checkpoint column).
-[[nodiscard]] Result<std::vector<uint8_t>> SerializeOsState(SimContext* sim,
-                                                            const ConsistencyGroup& group,
-                                                            uint64_t epoch, Oid namespace_oid,
-                                                            const EnsureOidFn& ensure_oid,
-                                                            SerializeStats* stats);
+// model for each object gathered (Table 4's checkpoint column). `mode` and
+// `cache` select the incremental charging scheme described above; the
+// default reproduces the legacy single-pass cost exactly.
+[[nodiscard]] Result<std::vector<uint8_t>> SerializeOsState(
+    SimContext* sim, const ConsistencyGroup& group, uint64_t epoch, Oid namespace_oid,
+    const EnsureOidFn& ensure_oid, SerializeStats* stats,
+    SerializeMode mode = SerializeMode::kLegacy, SerializeCache* cache = nullptr);
 
 // Resolves a memory OID to a VM object during restore. `chain_complete`
 // means the returned object already carries its whole ancestry (the

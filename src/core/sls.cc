@@ -252,9 +252,33 @@ void Sls::CkptCollapse(CheckpointContext* ctx) {
   sim_->tracer.End(collapse_span);
 }
 
+void Sls::CkptPreSerialize(CheckpointContext* ctx) {
+  // Warm the serialization cache while the application still runs: every
+  // entity serialized at fresh cost here is a cheap block copy inside the
+  // stopped window. The manifest built here is discarded (its header names
+  // an epoch and namespace OID that do not exist yet); only the cache
+  // survives into CkptSerialize.
+  if (ctx->group->legacy_stop_path) {
+    return;
+  }
+  size_t span = sim_->tracer.Begin("ckpt.preserialize");
+  SerializeCache& cache = serialize_caches_[ctx->group];
+  cache.pass++;
+  auto ensure = [this, ctx](VmObject* obj) { return EnsureMemoryOid(ctx->backend, obj); };
+  Result<std::vector<uint8_t>> warm =
+      SerializeOsState(sim_, *ctx->group, ctx->backend->current_epoch(), kInvalidOid, ensure,
+                       nullptr, SerializeMode::kWarmCache, &cache);
+  if (!warm.ok()) {
+    // Not fatal: the in-window pass simply runs against a colder cache.
+    sim_->metrics.counter("ckpt.preserialize_failures").Add(1);
+  }
+  sim_->tracer.End(span);
+}
+
 void Sls::CkptQuiesce(CheckpointContext* ctx) {
   // Quiesce every thread at the kernel boundary. Stop time starts here.
   ctx->stop_begin = sim_->clock.now();
+  ctx->quiesced = true;
   size_t quiesce_span = sim_->tracer.Begin("ckpt.quiesce");
   SimStopwatch quiesce_watch(sim_->clock);
   kernel_->Quiesce(ctx->group->processes);
@@ -272,9 +296,19 @@ Status Sls::CkptSerialize(CheckpointContext* ctx) {
     AURORA_ASSIGN_OR_RETURN(ns_oid, ctx->backend->PersistNamespace());
   }
   auto ensure = [this, ctx](VmObject* obj) { return EnsureMemoryOid(ctx->backend, obj); };
+  // In-window pass: assemble from the blobs CkptPreSerialize warmed; only
+  // entities mutated since then (quiesce state changes, drained AIO) pay
+  // fresh gather cost inside the stop.
+  SerializeMode mode =
+      ctx->group->legacy_stop_path ? SerializeMode::kLegacy : SerializeMode::kAssemble;
+  SerializeCache* cache =
+      ctx->group->legacy_stop_path ? nullptr : &serialize_caches_[ctx->group];
   AURORA_ASSIGN_OR_RETURN(ctx->manifest,
                           SerializeOsState(sim_, *ctx->group, ctx->backend->current_epoch(),
-                                           ns_oid, ensure, &ctx->result.os_state));
+                                           ns_oid, ensure, &ctx->result.os_state, mode, cache));
+  if (cache != nullptr) {
+    cache->Prune();
+  }
   ctx->result.os_serialize_time = serialize_watch.Elapsed();
   sim_->tracer.End(serialize_span);
   return Status::Ok();
@@ -285,15 +319,21 @@ void Sls::CkptShadow(CheckpointContext* ctx) {
   size_t shadow_span = sim_->tracer.Begin("ckpt.shadow");
   SimStopwatch shadow_watch(sim_->clock);
   SystemShadowStats shadow_stats;
+  ShadowOptions options;
+  options.skip_clean = !ctx->group->legacy_stop_path;
+  options.elide_shootdowns = !ctx->group->legacy_stop_path;
   ctx->pairs = CreateSystemShadows(
       ctx->maps, sim_,
       [this](VmObject* old_top, std::shared_ptr<VmObject> new_top) {
         kernel_->RebindShmObjects(old_top, new_top);
       },
-      &shadow_stats);
+      &shadow_stats, options);
   for (const ShadowPair& pair : ctx->pairs) {
     snapshots_[ctx->group][pair.frozen->sls_oid()] = pair.frozen;
   }
+  // PTEs downgraded inside this stop — with dirty-driven protection this
+  // scales with pages written since the last epoch, not image size.
+  sim_->metrics.counter("ckpt.ptes_reprotected").Add(shadow_stats.ptes_invalidated);
   ctx->result.shadow_time = shadow_watch.Elapsed();
   sim_->tracer.End(shadow_span);
 }
@@ -490,14 +530,17 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
   sim_->tracer.NewScope();
 
   CkptCollapse(&ctx);
+  CkptPreSerialize(&ctx);
   CkptQuiesce(&ctx);
   Status serialized = CkptSerialize(&ctx);
   if (!serialized.ok()) {
     // Never leave the group quiesced: even a failed serialize resumes the
     // application. Full CkptResume would clobber last_manifest_blobs_ with
     // the partial manifest, so only the kernel-level resume happens here.
+    // The stop clock only reads as stop time if quiesce actually started it;
+    // an abort before quiesce must not fabricate a pause.
     kernel_->Resume(group->processes);
-    ctx.result.stop_time = sim_->clock.now() - ctx.stop_begin;
+    ctx.result.stop_time = ctx.quiesced ? sim_->clock.now() - ctx.stop_begin : 0;
     if (!IsIoFailure(serialized)) {
       return serialized;
     }
@@ -877,6 +920,7 @@ Status Sls::MemCtl(Process* proc, uint64_t addr, bool exclude) {
     return Status::Error(Errc::kNotFound, "no mapping at address");
   }
   entry->exclude_from_checkpoint = exclude;
+  proc->vm().TouchLayout();  // checkpoint-visible entry flag changed
   return Status::Ok();
 }
 
@@ -886,6 +930,7 @@ Status Sls::FdCtl(Process* proc, int fd, bool disable_external_sync) {
     return Status::Error(Errc::kInvalidArgument, "fdctl targets sockets");
   }
   static_cast<Socket*>(desc->object.get())->external_sync_disabled = disable_external_sync;
+  desc->object->Touch();  // serialized socket record carries this flag
   return Status::Ok();
 }
 

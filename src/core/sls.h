@@ -64,6 +64,7 @@ struct CheckpointContext {
   std::vector<ShadowPair> pairs;  // shadows frozen by this checkpoint
   SimTime begin = 0;              // pipeline entry (epoch-overlap bookkeeping)
   SimTime stop_begin = 0;         // quiesce start; stop = resume - stop_begin
+  bool quiesced = false;          // stop clock is running (guards abort paths)
   SimTime durable = 0;            // folds each stage's completion time
   CheckpointResult result;
 };
@@ -189,6 +190,10 @@ class Sls {
   // Checkpoint pipeline stages, in order. Each takes the shared context;
   // fallible stages return Status and abort the pipeline.
   void CkptCollapse(CheckpointContext* ctx);
+  // Out-of-window warm pass: serializes the OS state before the stop begins
+  // so the in-window pass mostly assembles cached blobs. Failures are
+  // counted, not fatal — the in-window pass simply runs with a cold cache.
+  void CkptPreSerialize(CheckpointContext* ctx);
   void CkptQuiesce(CheckpointContext* ctx);
   [[nodiscard]] Status CkptSerialize(CheckpointContext* ctx);
   void CkptShadow(CheckpointContext* ctx);
@@ -237,6 +242,9 @@ class Sls {
   // RestoreMode::kFromMemory and collapse bookkeeping.
   std::map<ConsistencyGroup*, std::map<uint64_t, std::shared_ptr<VmObject>>> snapshots_;
   std::map<ConsistencyGroup*, std::vector<uint8_t>> last_manifest_blobs_;
+  // Per-group serialized-blob caches for the warm/assemble serialization
+  // passes (see SerializeMode).
+  std::map<ConsistencyGroup*, SerializeCache> serialize_caches_;
   std::map<ConsistencyGroup*, SimTime> last_durable_;
   // One stderr line the first time an epoch aborts; counters track the rest.
   bool abort_logged_ = false;

@@ -29,6 +29,7 @@ const char* FileTypeName(FileType t) {
 }
 
 int FdTable::Install(std::shared_ptr<FileDescription> desc, bool cloexec) {
+  generation_++;
   for (size_t i = 0; i < slots_.size(); i++) {
     if (slots_[i].desc == nullptr) {
       slots_[i] = Slot{std::move(desc), cloexec};
@@ -47,6 +48,7 @@ Status FdTable::InstallAt(int fd, std::shared_ptr<FileDescription> desc, bool cl
     slots_.resize(static_cast<size_t>(fd) + 1);
   }
   slots_[static_cast<size_t>(fd)] = Slot{std::move(desc), cloexec};
+  generation_++;
   return Status::Ok();
 }
 
@@ -64,6 +66,7 @@ Status FdTable::Close(int fd) {
     return Status::Error(Errc::kNotFound, "bad file descriptor");
   }
   slots_[static_cast<size_t>(fd)] = Slot{};
+  generation_++;
   return Status::Ok();
 }
 

@@ -42,9 +42,17 @@ class FileObject {
   virtual FileType type() const = 0;
   uint64_t kernel_id() const { return kernel_id_; }
 
+  // Serialization-cache generation: bumped by every mutating operation on
+  // the object (buffered bytes, offsets via the owning description, state
+  // machines). The checkpoint serializer reuses an object's cached blob only
+  // while its generation is unchanged.
+  uint64_t generation() const { return generation_; }
+  void Touch() { generation_++; }
+
  private:
   static uint64_t next_kernel_id_;
   uint64_t kernel_id_;
+  uint64_t generation_ = 1;
 };
 
 // Open-file table entry (FreeBSD `struct file`): shared by all descriptors
@@ -58,6 +66,8 @@ struct FileDescription {
   uint64_t offset = 0;
   int open_flags = 0;  // O_RDONLY/O_WRONLY/O_RDWR | O_APPEND | ...
   uint64_t kernel_id;  // identity of this open-file entry for checkpointing
+  // Serialization-cache generation; bumped when the shared offset moves.
+  uint64_t generation = 1;
 
  private:
   static uint64_t next_kernel_id_;
@@ -92,8 +102,14 @@ class FdTable {
   const std::vector<Slot>& slots() const { return slots_; }
   size_t OpenCount() const;
 
+  // Serialization-cache generation: bumped whenever the table's shape
+  // changes (install/close/dup), so a process's cached blob — which embeds
+  // its fd table — invalidates on descriptor churn.
+  uint64_t generation() const { return generation_; }
+
  private:
   std::vector<Slot> slots_;
+  uint64_t generation_ = 1;
 };
 
 }  // namespace aurora

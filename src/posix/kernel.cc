@@ -66,6 +66,7 @@ Result<Process*> Kernel::Fork(Process& parent) {
   }
   Process* raw = child.get();
   parent.children.push_back(raw);
+  parent.mutation_gen++;  // child list changed: serialized tree grows
   processes_.push_back(std::move(child));
   return raw;
 }
@@ -130,6 +131,7 @@ Status Kernel::Kill(uint64_t local_pid, int signo) {
 void Kernel::Exit(Process* proc, int status) {
   proc->exit_status = status;
   proc->zombie = true;
+  proc->mutation_gen++;
   for (auto& t : proc->threads()) {
     t->state = ThreadState::kExited;
   }
@@ -149,6 +151,7 @@ Result<std::pair<uint64_t, int>> Kernel::WaitAny(Process& parent) {
     if (child->zombie) {
       auto result = std::make_pair(child->local_pid(), child->exit_status);
       DestroyProcess(child);
+      parent.mutation_gen++;  // child list changed: serialized tree shrinks
       return result;
     }
   }
@@ -206,7 +209,15 @@ QuiesceStats Kernel::Quiesce(const std::vector<Process*>& procs) {
         t->cpu.fpu_dirty = false;
         stats.fpu_flushes++;
       }
-      t->resume_state = t->state == ThreadState::kKernelRunning ? ThreadState::kUser : t->state;
+      ThreadState resume =
+          t->state == ThreadState::kKernelRunning ? ThreadState::kUser : t->state;
+      if (t->resume_state != resume) {
+        // Quiesce itself mutates checkpoint-visible state only through
+        // resume_state; bumping solely on a real change keeps idle epochs'
+        // process blobs warm in the serialization cache.
+        p->mutation_gen++;
+      }
+      t->resume_state = resume;
       t->state = ThreadState::kStopped;
     }
   }
@@ -273,10 +284,14 @@ Result<uint64_t> Kernel::ReadFd(Process& proc, int fd, void* out, uint64_t len) 
       auto* vn = static_cast<Vnode*>(desc->object.get());
       AURORA_ASSIGN_OR_RETURN(uint64_t n, vn->Read(desc->offset, out, len));
       desc->offset += n;  // shared by every descriptor dup'd from this one
+      desc->generation++;
       return n;
     }
-    case FileType::kPipe:
-      return static_cast<Pipe*>(desc->object.get())->Read(out, len);
+    case FileType::kPipe: {
+      AURORA_ASSIGN_OR_RETURN(uint64_t n, static_cast<Pipe*>(desc->object.get())->Read(out, len));
+      desc->object->Touch();  // buffered bytes drained
+      return n;
+    }
     default:
       return Status::Error(Errc::kNotSupported, "read on this object type");
   }
@@ -294,10 +309,16 @@ Result<uint64_t> Kernel::WriteFd(Process& proc, int fd, const void* data, uint64
       uint64_t at = (desc->open_flags & kOpenAppend) ? vn->size() : desc->offset;
       AURORA_ASSIGN_OR_RETURN(uint64_t n, vn->Write(at, data, len));
       desc->offset = at + n;
+      desc->generation++;
+      vn->Touch();  // serialized vnode record carries the size
       return n;
     }
-    case FileType::kPipe:
-      return static_cast<Pipe*>(desc->object.get())->Write(data, len);
+    case FileType::kPipe: {
+      AURORA_ASSIGN_OR_RETURN(uint64_t n,
+                              static_cast<Pipe*>(desc->object.get())->Write(data, len));
+      desc->object->Touch();  // buffered bytes grew
+      return n;
+    }
     default:
       return Status::Error(Errc::kNotSupported, "write on this object type");
   }
@@ -329,6 +350,7 @@ Result<uint64_t> Kernel::SeekFd(Process& proc, int fd, int64_t offset, int whenc
     return Status::Error(Errc::kInvalidArgument, "negative offset");
   }
   desc->offset = static_cast<uint64_t>(target);
+  desc->generation++;
   return desc->offset;
 }
 
@@ -500,6 +522,7 @@ uint64_t Kernel::SubmitAio(Process& proc, int fd, AioRequest::Op op, uint64_t of
   req.offset = offset;
   req.length = length;
   proc.aios.push_back(req);
+  proc.mutation_gen++;
   return req.id;
 }
 
@@ -514,6 +537,9 @@ uint64_t Kernel::QuiesceAio(Process& proc) {
       waited++;
     }
     // In-flight reads stay recorded; the restore path reissues them.
+  }
+  if (waited > 0) {
+    proc.mutation_gen++;  // AIO states flipped to done
   }
   return waited;
 }

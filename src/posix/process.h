@@ -109,7 +109,14 @@ class Process {
   void PostSignal(int signo) {
     pending_signals |= (1ull << signo);
     signal_queue.push_back(signo);
+    mutation_gen++;
   }
+
+  // Serialization-cache generation for process-level state that is not
+  // covered by the VM map's or fd table's own counters (signals, zombie
+  // transitions, AIO queue, thread resume states). The serializer keys a
+  // process's cached blob on the sum of all three counters.
+  uint64_t mutation_gen = 1;
 
   // Ephemeral processes belong to the consistency group but are not
   // persisted; after a restore the parent receives SIGCHLD as if the child

@@ -56,6 +56,11 @@ void Pmap::Enter(uint64_t vpage, Entry entry, const CostModel& cost, SimClock* c
     PvRemove(it->second.frame, this, vpage);
   }
   entries_[vpage] = entry;
+  if (entry.writable) {
+    writable_.insert(vpage);
+  } else {
+    writable_.erase(vpage);
+  }
   PvAdd(entry.frame, this, vpage);
 }
 
@@ -72,6 +77,7 @@ bool Pmap::RemoveTranslation(uint64_t vpage, const VmPage* frame) {
   // pv maintenance is done by the caller (the frame's pv list is being
   // drained); just drop the translation.
   entries_.erase(it);
+  writable_.erase(vpage);
   return true;
 }
 
@@ -82,6 +88,7 @@ uint64_t Pmap::InvalidateAll(const CostModel& cost, SimClock* clock) {
   }
   clock->Advance(cost.pte_protect * n);
   entries_.clear();
+  writable_.clear();
   return n;
 }
 
@@ -91,6 +98,7 @@ uint64_t Pmap::InvalidateRange(uint64_t start, uint64_t end, const CostModel& co
   auto it = entries_.lower_bound(start);
   while (it != entries_.end() && it->first < end) {
     PvRemove(it->second.frame, this, it->first);
+    writable_.erase(it->first);
     it = entries_.erase(it);
     n++;
   }
@@ -103,6 +111,7 @@ uint64_t Pmap::InvalidateObject(const VmObject* object, const CostModel& cost, S
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.object == object) {
       PvRemove(it->second.frame, this, it->first);
+      writable_.erase(it->first);
       it = entries_.erase(it);
       n++;
     } else {
@@ -114,13 +123,14 @@ uint64_t Pmap::InvalidateObject(const VmObject* object, const CostModel& cost, S
 }
 
 uint64_t Pmap::WriteProtectAll(const CostModel& cost, SimClock* clock) {
+  // The writable index *is* the set to downgrade; clean translations are
+  // never visited (incremental COW arming).
   uint64_t n = 0;
-  for (auto& [vpage, entry] : entries_) {
-    if (entry.writable) {
-      entry.writable = false;
-      n++;
-    }
+  for (uint64_t vpage : writable_) {
+    entries_[vpage].writable = false;
+    n++;
   }
+  writable_.clear();
   clock->Advance(cost.pte_protect * n);
   return n;
 }
@@ -128,11 +138,11 @@ uint64_t Pmap::WriteProtectAll(const CostModel& cost, SimClock* clock) {
 uint64_t Pmap::WriteProtectRange(uint64_t start, uint64_t end, const CostModel& cost,
                                  SimClock* clock) {
   uint64_t n = 0;
-  for (auto it = entries_.lower_bound(start); it != entries_.end() && it->first < end; ++it) {
-    if (it->second.writable) {
-      it->second.writable = false;
-      n++;
-    }
+  auto it = writable_.lower_bound(start);
+  while (it != writable_.end() && *it < end) {
+    entries_[*it].writable = false;
+    it = writable_.erase(it);
+    n++;
   }
   clock->Advance(cost.pte_protect * n);
   return n;

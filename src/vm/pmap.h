@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "src/base/cost_model.h"
 #include "src/base/sim_clock.h"
@@ -63,9 +64,17 @@ class Pmap {
 
   uint64_t ResidentCount() const { return entries_.size(); }
   uint64_t DirtyCount() const;
+  // Number of currently-writable translations. Writable PTEs only exist for
+  // pages written since the last write-protect sweep, so this is the address
+  // space's dirtied-since-last-epoch set.
+  uint64_t WritableCount() const { return writable_.size(); }
 
  private:
   std::map<uint64_t, Entry> entries_;  // keyed by page-aligned vaddr
+  // Index of the writable translations, maintained at fault/install time so
+  // checkpoint write-protect sweeps walk only the dirtied PTEs instead of
+  // every resident entry (stop time scales with dirtied state).
+  std::set<uint64_t> writable_;
 };
 
 }  // namespace aurora

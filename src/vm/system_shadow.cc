@@ -1,7 +1,9 @@
 #include "src/vm/system_shadow.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 namespace aurora {
 
@@ -20,30 +22,90 @@ bool ShouldShadow(const VmMapEntry& entry) {
   return obj->type() == VmObjectType::kAnonymous && !obj->exclude_from_checkpoint();
 }
 
+// A top object took writes since it became the top iff it holds pages: a
+// writable PTE is only ever installed for the chain's top object, and
+// installing the page into the top is what makes the PTE writable. Frozen
+// and pager-backed tops (restored images) must always be re-shadowed — a
+// write against them has nowhere to land.
+bool NeedsShadow(const VmObject* top) {
+  return top->frozen() || top->has_pager() || top->ResidentPages() > 0;
+}
+
+// Clamps the write-protect sweep for `entry` to the span of `old_top`'s
+// dirtied pages. Pages outside the object's dirty range cannot have writable
+// translations, so the sweep (and its per-PTE charge) touches only what the
+// application actually wrote since the previous epoch.
+std::pair<uint64_t, uint64_t> DirtySpan(const VmMapEntry& entry, const VmObject* old_top) {
+  if (!old_top->HasDirtyRange()) {
+    return {entry.start, entry.start};  // empty
+  }
+  // Page index p of the object maps at vaddr = entry.start - offset + p * pg.
+  uint64_t lo_off = old_top->DirtyLoPage() * kPageSize;
+  uint64_t hi_off = old_top->DirtyHiPage() * kPageSize + kPageSize;
+  uint64_t lo = lo_off > entry.offset ? entry.start + (lo_off - entry.offset) : entry.start;
+  uint64_t hi = hi_off > entry.offset ? entry.start + (hi_off - entry.offset) : entry.start;
+  lo = std::min(lo, entry.end);
+  hi = std::min(hi, entry.end);
+  return {lo, hi};
+}
+
 // Repoints every map entry whose top object is `old_top` to `new_top` and
 // write-protects the affected translations. Read mappings of the frozen
 // pages remain valid (they are immutable now); the first write per page
-// faults and copies into the new shadow.
+// faults and copies into the new shadow. Per-map downgrade counts accumulate
+// into `per_map` (indexed like `maps`) so the caller can elide shootdowns
+// for untouched address spaces.
 uint64_t RebindEntries(VmObject* old_top, const std::shared_ptr<VmObject>& new_top,
-                       const std::vector<VmMap*>& maps, SimContext* sim) {
+                       const std::vector<VmMap*>& maps, SimContext* sim,
+                       std::vector<uint64_t>* per_map) {
   uint64_t protected_ptes = 0;
-  for (VmMap* map : maps) {
+  for (size_t i = 0; i < maps.size(); i++) {
+    VmMap* map = maps[i];
     for (auto& [start, entry] : map->entries()) {
       if (entry.object.get() == old_top) {
         entry.object = new_top;
-        protected_ptes +=
-            map->pmap().WriteProtectRange(entry.start, entry.end, sim->cost, &sim->clock);
+        auto [lo, hi] = DirtySpan(entry, old_top);
+        uint64_t n =
+            lo < hi ? map->pmap().WriteProtectRange(lo, hi, sim->cost, &sim->clock) : 0;
+        protected_ptes += n;
+        if (per_map != nullptr) {
+          (*per_map)[i] += n;
+        }
       }
     }
   }
   return protected_ptes;
 }
 
+// One TLB shootdown round covers every range invalidated this pass (batched
+// IPIs, as the kernel does) — but only address spaces that actually lost a
+// writable translation have anything to flush. Untouched pmaps are elided
+// (counted, so the savings are observable) unless the legacy full-sweep
+// behavior was requested.
+void ChargeShootdowns(const std::vector<VmMap*>& maps, const std::vector<uint64_t>& per_map,
+                      const ShadowOptions& options, SimContext* sim, SystemShadowStats* stats) {
+  for (size_t i = 0; i < maps.size(); i++) {
+    if (options.elide_shootdowns && per_map[i] == 0) {
+      if (stats != nullptr) {
+        stats->shootdowns_elided++;
+      }
+      sim->metrics.counter("vm.shootdowns_elided").Add();
+      continue;
+    }
+    sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
+    if (stats != nullptr) {
+      stats->tlb_shootdowns++;
+    }
+    sim->metrics.counter("vm.tlb_shootdowns").Add();
+  }
+}
+
 }  // namespace
 
 std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, SimContext* sim,
                                             const ShadowRebindFn& rebind,
-                                            SystemShadowStats* stats) {
+                                            SystemShadowStats* stats,
+                                            const ShadowOptions& options) {
   // Pass 1: collect the distinct writable top objects across the group in
   // discovery order (map, then ascending start address). The dedup set makes
   // each object shadowed exactly once no matter how many processes or
@@ -54,11 +116,21 @@ std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, Sim
   for (VmMap* map : maps) {
     for (auto& [start, entry] : map->entries()) {
       if (ShouldShadow(entry) && seen.insert(entry.object.get()).second) {
+        if (options.skip_clean && !NeedsShadow(entry.object.get())) {
+          // Clean top: its store object already holds exactly this content
+          // (or the region was never written and restores as zero fill).
+          if (stats != nullptr) {
+            stats->objects_skipped_clean++;
+          }
+          sim->metrics.counter("vm.objects_skipped_clean").Add();
+          continue;
+        }
         tops.push_back(entry.object);
       }
     }
   }
 
+  std::vector<uint64_t> per_map(maps.size(), 0);
   std::vector<ShadowPair> pairs;
   pairs.reserve(tops.size());
   for (const std::shared_ptr<VmObject>& top : tops) {
@@ -67,7 +139,7 @@ std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, Sim
     shadow->set_sls_oid(top->sls_oid());  // same logical region on disk
     top->Freeze();
     sim->clock.Advance(sim->cost.small_alloc + sim->cost.lock_acquire);
-    uint64_t invalidated = RebindEntries(raw, shadow, maps, sim);
+    uint64_t invalidated = RebindEntries(raw, shadow, maps, sim, &per_map);
     if (rebind) {
       rebind(raw, shadow);
     }
@@ -80,32 +152,29 @@ std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, Sim
     pairs.push_back(ShadowPair{top, shadow});
   }
 
-  // One TLB shootdown round per address space covers all the ranges
-  // invalidated above (batched IPIs, as the kernel does).
-  for (size_t i = 0; i < maps.size(); i++) {
-    sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
-    if (stats != nullptr) {
-      stats->tlb_shootdowns++;
-    }
-    sim->metrics.counter("vm.tlb_shootdowns").Add();
-  }
+  ChargeShootdowns(maps, per_map, options, sim, stats);
   return pairs;
 }
 
 ShadowPair ShadowOneObject(std::shared_ptr<VmObject> top, const std::vector<VmMap*>& maps,
-                           SimContext* sim, const ShadowRebindFn& rebind) {
+                           SimContext* sim, const ShadowRebindFn& rebind,
+                           SystemShadowStats* stats, const ShadowOptions& options) {
   auto shadow = VmObject::CreateShadow(top);
   shadow->set_sls_oid(top->sls_oid());
   top->Freeze();
   sim->clock.Advance(sim->cost.small_alloc + sim->cost.lock_acquire);
-  uint64_t invalidated = RebindEntries(top.get(), shadow, maps, sim);
+  std::vector<uint64_t> per_map(maps.size(), 0);
+  uint64_t invalidated = RebindEntries(top.get(), shadow, maps, sim, &per_map);
   if (rebind) {
     rebind(top.get(), shadow);
   }
-  sim->clock.Advance(sim->cost.tlb_shootdown_ipi);
+  if (stats != nullptr) {
+    stats->objects_shadowed++;
+    stats->ptes_invalidated += invalidated;
+  }
   sim->metrics.counter("vm.objects_shadowed").Add();
   sim->metrics.counter("vm.ptes_protected").Add(invalidated);
-  sim->metrics.counter("vm.tlb_shootdowns").Add();
+  ChargeShootdowns(maps, per_map, options, sim, stats);
   return ShadowPair{top, shadow};
 }
 

@@ -35,8 +35,26 @@ struct ShadowPair {
 
 struct SystemShadowStats {
   uint64_t objects_shadowed = 0;
+  uint64_t objects_skipped_clean = 0;  // tops with no dirtied pages, left live
   uint64_t ptes_invalidated = 0;
   uint64_t tlb_shootdowns = 0;
+  uint64_t shootdowns_elided = 0;  // address spaces with zero rebound PTEs
+};
+
+// Knobs for the incremental stop path. The defaults are Aurora's behavior:
+// stop-time work scales with dirtied state. The full-sweep legacy engine
+// (both false-equivalents) stays available for the stop-path ablation.
+struct ShadowOptions {
+  // Leave unfrozen tops with zero dirtied pages as the live top instead of
+  // shadowing them: their store object already equals their content, so a
+  // fresh shadow would only add an empty chain link and PTE/IPI work.
+  // Restored tops (frozen or pager-backed) are always shadowed.
+  bool skip_clean = true;
+  // Charge/count one TLB shootdown only for address spaces where at least
+  // one PTE was actually write-protected; untouched pmaps have no stale
+  // translations to invalidate. When false, every map in the group pays one
+  // IPI round per shadow pass (the pre-incremental behavior).
+  bool elide_shootdowns = true;
 };
 
 // Called when an object that external descriptors reference (POSIX/SysV
@@ -46,17 +64,24 @@ using ShadowRebindFn = std::function<void(VmObject* old_top, std::shared_ptr<VmO
 
 // Shadows every writable, non-excluded anonymous top object reachable from
 // `maps`, charging shadow allocation, PTE and TLB costs. Returns the frozen
-// tops paired with their live shadows.
+// tops paired with their live shadows. With the default options, tops that
+// took no writes since the previous epoch are skipped and fully-clean
+// address spaces pay no shootdown.
 std::vector<ShadowPair> CreateSystemShadows(const std::vector<VmMap*>& maps, SimContext* sim,
                                             const ShadowRebindFn& rebind,
-                                            SystemShadowStats* stats);
+                                            SystemShadowStats* stats,
+                                            const ShadowOptions& options = {});
 
 // Shadows a single object (the sls_memckpt atomic-region API). References in
 // `maps` are repointed just like the group-wide operation. `top` is taken by
 // value: rebinding overwrites the map entries' shared_ptrs, so a caller's
-// reference into an entry would otherwise be mutated mid-operation.
+// reference into an entry would otherwise be mutated mid-operation. The
+// object is shadowed even when clean (the caller asked for this region's
+// snapshot explicitly); shootdown accounting matches the batched path.
 ShadowPair ShadowOneObject(std::shared_ptr<VmObject> top, const std::vector<VmMap*>& maps,
-                           SimContext* sim, const ShadowRebindFn& rebind);
+                           SimContext* sim, const ShadowRebindFn& rebind,
+                           SystemShadowStats* stats = nullptr,
+                           const ShadowOptions& options = {});
 
 // After `pair.frozen` has been flushed to storage, eagerly merge it into its
 // parent to keep chains short. Merging happens only when the parent is

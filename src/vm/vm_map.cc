@@ -53,6 +53,7 @@ Result<uint64_t> VmMap::Map(uint64_t hint, uint64_t size, int prot,
   entry.copy_on_write = copy_on_write;
   entry.object = std::move(object);
   entries_[start] = std::move(entry);
+  generation_++;
   if (hint == 0) {
     alloc_cursor_ = start + size + kPageSize;
   }
@@ -67,6 +68,7 @@ Status VmMap::Unmap(uint64_t start, uint64_t size) {
   }
   pmap_.InvalidateRange(start, start + size, sim_->cost, &sim_->clock);
   entries_.erase(it);
+  generation_++;
   return Status::Ok();
 }
 
@@ -76,6 +78,7 @@ Status VmMap::Protect(uint64_t start, uint64_t size, int prot) {
     return Status::Error(Errc::kNotFound, "protect of unknown entry");
   }
   it->second.prot = prot;
+  generation_++;
   pmap_.InvalidateRange(start, start + size, sim_->cost, &sim_->clock);
   return Status::Ok();
 }
@@ -98,6 +101,7 @@ Status VmMap::Advise(uint64_t addr, int hint) {
     return Status::Error(Errc::kNotFound, "no mapping at address");
   }
   entry->madvise_hint = hint;
+  generation_++;
   return Status::Ok();
 }
 
@@ -251,6 +255,7 @@ Result<std::unique_ptr<VmMap>> VmMap::Fork() {
   clock->Advance(cost.pte_protect * resident);
   pmap_.InvalidateAll(cost, clock);
   clock->Advance(cost.tlb_shootdown_ipi);
+  generation_++;
   return child;
 }
 

@@ -94,6 +94,14 @@ class VmMap {
   // Total resident pages across all distinct objects (top of chains only).
   uint64_t ResidentPages() const;
 
+  // Serialization-cache generation: bumped by layout mutations (map, unmap,
+  // protect, advise, fork), not by page faults — faults change page content,
+  // which the memory snapshot captures, but not the serialized map layout.
+  uint64_t generation() const { return generation_; }
+  // For callers that mutate checkpoint-visible entry state through
+  // FindEntry() (e.g. sls_mctl toggling exclude_from_checkpoint).
+  void TouchLayout() { generation_++; }
+
  private:
   [[nodiscard]] Result<uint64_t> FindFreeRange(uint64_t hint, uint64_t size) const;
 
@@ -101,6 +109,7 @@ class VmMap {
   std::map<uint64_t, VmMapEntry> entries_;
   Pmap pmap_;
   VmFaultStats fault_stats_;
+  uint64_t generation_ = 1;
   uint64_t alloc_cursor_ = 0x10000000;  // bump pointer for hint-less maps
 };
 

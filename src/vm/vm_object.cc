@@ -109,6 +109,7 @@ Result<VmPage*> VmObject::EnsureLocalPage(uint64_t pgidx) {
   }
   VmPage* raw = frame.get();
   pages_[pgidx] = std::move(frame);
+  NoteDirtyPage(pgidx);
   return raw;
 }
 
@@ -117,6 +118,7 @@ VmPage* VmObject::InstallPage(uint64_t pgidx, const uint8_t* data) {
   std::memcpy(frame->data.data(), data, kPageSize);
   VmPage* raw = frame.get();
   pages_[pgidx] = std::move(frame);
+  NoteDirtyPage(pgidx);
   return raw;
 }
 

@@ -89,6 +89,16 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
 
   // Number of pages resident in *this* object only (not the chain).
   size_t ResidentPages() const { return pages_.size(); }
+
+  // Dirty-range summary: the [lo, hi] page-index bounds of every page ever
+  // installed into *this* object. A live shadow starts empty, so after one
+  // epoch its resident pages — and this range — are exactly the pages
+  // dirtied since the shadow was created. Checkpointing uses the bounds to
+  // clamp write-protect sweeps to the dirtied span of each mapping instead
+  // of the whole entry.
+  bool HasDirtyRange() const { return dirty_hi_ >= dirty_lo_; }
+  uint64_t DirtyLoPage() const { return dirty_lo_; }
+  uint64_t DirtyHiPage() const { return dirty_hi_; }
   const std::map<uint64_t, std::unique_ptr<VmPage>>& pages() const { return pages_; }
 
   // Looks up a page in this object only. Null if absent.
@@ -159,6 +169,10 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
  private:
   VmObject(VmObjectType type, uint64_t size);
   void SetParent(std::shared_ptr<VmObject> parent);
+  void NoteDirtyPage(uint64_t pgidx) {
+    dirty_lo_ = pgidx < dirty_lo_ ? pgidx : dirty_lo_;
+    dirty_hi_ = pgidx > dirty_hi_ ? pgidx : dirty_hi_;
+  }
 
   static uint64_t next_id_;
 
@@ -170,6 +184,8 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
   uint64_t sls_oid_ = 0;
   uint64_t backing_ino_ = 0;
   SimTime busy_until_ = 0;
+  uint64_t dirty_lo_ = UINT64_MAX;  // empty range: lo > hi
+  uint64_t dirty_hi_ = 0;
 
   std::shared_ptr<VmObject> parent_;
   int shadow_count_ = 0;  // number of shadows whose parent is this object

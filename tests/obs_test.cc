@@ -240,11 +240,11 @@ TEST(ObsIntegration, CheckpointEmitsPhaseSpansAndConsistentCounters) {
   // One checkpoint, fully traced: every pipeline phase shows up exactly once
   // in the checkpoint's scope, in pipeline order.
   auto spans = m.sim.tracer.SpansInScope(m.sim.tracer.current_scope());
-  const char* kPhases[] = {"ckpt.collapse", "ckpt.quiesce", "ckpt.serialize",
-                           "ckpt.shadow",   "ckpt.flush",   "ckpt.commit",
-                           "ckpt.release"};
-  ASSERT_EQ(spans.size(), 7u);
-  for (size_t i = 0; i < 7; i++) {
+  const char* kPhases[] = {"ckpt.collapse", "ckpt.preserialize", "ckpt.quiesce",
+                           "ckpt.serialize", "ckpt.shadow",      "ckpt.flush",
+                           "ckpt.commit",   "ckpt.release"};
+  ASSERT_EQ(spans.size(), 8u);
+  for (size_t i = 0; i < 8; i++) {
     EXPECT_EQ(spans[i].name, kPhases[i]) << "phase " << i;
     EXPECT_GE(spans[i].end, spans[i].begin);
     if (i > 0) {
@@ -253,7 +253,7 @@ TEST(ObsIntegration, CheckpointEmitsPhaseSpansAndConsistentCounters) {
   }
   // Async phases end at durability, in the future of the phases that queued
   // them; the release span ends exactly when the checkpoint is durable.
-  EXPECT_EQ(spans[6].end, ckpt->durable_at);
+  EXPECT_EQ(spans[7].end, ckpt->durable_at);
 
   // Counter cross-checks.
   const MetricsRegistry& metrics = m.sim.metrics;
@@ -275,9 +275,9 @@ TEST(ObsIntegration, CheckpointEmitsPhaseSpansAndConsistentCounters) {
   EXPECT_EQ(static_cast<SimDuration>(metrics.histograms().at("ckpt.stop_time").Min()),
             metrics.histograms().at("ckpt.stop_time").Max());
 
-  // A second checkpoint opens a fresh scope with its own 7 phases.
+  // A second checkpoint opens a fresh scope with its own 8 phases.
   ASSERT_TRUE(m.sls->Checkpoint(group, "obs2").ok());
-  EXPECT_EQ(m.sim.tracer.SpansInScope(m.sim.tracer.current_scope()).size(), 7u);
+  EXPECT_EQ(m.sim.tracer.SpansInScope(m.sim.tracer.current_scope()).size(), 8u);
   EXPECT_EQ(metrics.CounterValue("ckpt.checkpoints"), 2u);
 }
 

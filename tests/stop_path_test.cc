@@ -1,0 +1,333 @@
+// Tests for the delay-free checkpoint critical path: dirty-driven
+// write-protection, TLB shootdown elision for clean address spaces, and the
+// out-of-window serialization cache (DESIGN.md section 15).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/sim_context.h"
+#include "src/core/serialize.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+namespace {
+
+// One simulated machine: devices, store, file system, kernel and SLS.
+struct Machine {
+  explicit Machine(uint64_t store_bytes = 1 * kGiB) {
+    device = MakePaperTestbedStore(&sim.clock, store_bytes);
+    store = *ObjectStore::Format(device.get(), &sim);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  // Reboot: keep the device contents, rebuild everything else.
+  void Reboot() {
+    store = *ObjectStore::Open(device.get(), &sim);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  uint64_t Counter(const std::string& name) { return sim.metrics.counter(name).value(); }
+
+  SimContext sim;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<AuroraFs> fs;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Sls> sls;
+};
+
+// Builds a process with a data region and returns (proc, addr).
+std::pair<Process*, uint64_t> MakeAppProcess(Machine& m, uint64_t mem_bytes) {
+  Process* proc = *m.kernel->CreateProcess("app");
+  auto obj = VmObject::CreateAnonymous(mem_bytes);
+  uint64_t addr = *proc->vm().Map(0x400000, mem_bytes, kProtRead | kProtWrite, obj, 0, false);
+  return {proc, addr};
+}
+
+// A deterministic OID assigner for driving SerializeOsState directly.
+struct FakeOids {
+  std::map<VmObject*, Oid> assigned;
+  uint64_t next = 1000;
+
+  EnsureOidFn Fn() {
+    return [this](VmObject* obj) {
+      auto it = assigned.find(obj);
+      if (it == assigned.end()) {
+        it = assigned.emplace(obj, Oid{next++}).first;
+      }
+      return it->second;
+    };
+  }
+};
+
+// (a) A no-dirty-pages epoch performs zero write-protects and zero
+// shootdowns; shootdowns must not scale with epoch count for clean epochs.
+TEST(StopPath, CleanEpochElidesProtectionAndShootdowns) {
+  Machine m;
+  auto [proc, addr] = MakeAppProcess(m, 4 * kMiB);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+
+  ASSERT_TRUE(proc->vm().DirtyRange(addr, 64 * kPageSize).ok());
+  auto cold = m.sls->Checkpoint(group);
+  ASSERT_TRUE(cold.ok());
+  m.sim.clock.AdvanceTo(cold->durable_at);
+  EXPECT_GT(m.Counter("ckpt.ptes_reprotected"), 0u) << "the dirty epoch must re-protect";
+
+  uint64_t shootdowns0 = m.Counter("vm.tlb_shootdowns");
+  uint64_t reprotected0 = m.Counter("ckpt.ptes_reprotected");
+  uint64_t elided0 = m.Counter("vm.shootdowns_elided");
+
+  const int kCleanEpochs = 5;
+  for (int i = 0; i < kCleanEpochs; i++) {
+    auto clean = m.sls->Checkpoint(group);
+    ASSERT_TRUE(clean.ok());
+    EXPECT_LT(clean->stop_time, cold->stop_time);
+    m.sim.clock.AdvanceTo(clean->durable_at);
+  }
+
+  EXPECT_EQ(m.Counter("vm.tlb_shootdowns"), shootdowns0)
+      << "clean epochs must not send shootdown IPIs";
+  EXPECT_EQ(m.Counter("ckpt.ptes_reprotected"), reprotected0)
+      << "clean epochs must not downgrade any PTE";
+  EXPECT_GE(m.Counter("vm.shootdowns_elided"), elided0 + kCleanEpochs)
+      << "every clean address space should count one elision per epoch";
+}
+
+// The legacy toggle restores the old accounting: every epoch pays a
+// shootdown per address space whether or not anything was dirtied.
+TEST(StopPath, LegacyPathChargesShootdownPerEpoch) {
+  Machine m;
+  auto [proc, addr] = MakeAppProcess(m, 4 * kMiB);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+  group->legacy_stop_path = true;
+
+  ASSERT_TRUE(proc->vm().DirtyRange(addr, 64 * kPageSize).ok());
+  auto cold = m.sls->Checkpoint(group);
+  ASSERT_TRUE(cold.ok());
+  m.sim.clock.AdvanceTo(cold->durable_at);
+
+  uint64_t shootdowns0 = m.Counter("vm.tlb_shootdowns");
+  const int kCleanEpochs = 3;
+  for (int i = 0; i < kCleanEpochs; i++) {
+    auto clean = m.sls->Checkpoint(group);
+    ASSERT_TRUE(clean.ok());
+    m.sim.clock.AdvanceTo(clean->durable_at);
+  }
+  EXPECT_EQ(m.Counter("vm.tlb_shootdowns"), shootdowns0 + kCleanEpochs)
+      << "legacy path charges one shootdown per address space per epoch";
+  EXPECT_EQ(m.Counter("ckpt.serialize_cache_hits"), 0u)
+      << "legacy path must not consult the serialization cache";
+}
+
+// Populates one machine with a table6-flavored workload: an app process with
+// a sizeable heap plus a rich descriptor table.
+struct RichApp {
+  Process* proc = nullptr;
+  uint64_t addr = 0;
+  uint64_t mem_bytes = 0;
+  int file_fd = -1;
+  int pipe_rfd = -1;
+  int pipe_wfd = -1;
+};
+
+RichApp BuildRichApp(Machine& m, uint64_t mem_bytes) {
+  RichApp app;
+  app.mem_bytes = mem_bytes;
+  auto [proc, addr] = MakeAppProcess(m, mem_bytes);
+  app.proc = proc;
+  app.addr = addr;
+  app.file_fd = *m.kernel->Open(*proc, "state.db", kOpenRead | kOpenWrite, true);
+  auto [rfd, wfd] = *m.kernel->MakePipe(*proc);
+  app.pipe_rfd = rfd;
+  app.pipe_wfd = wfd;
+  const char blob[] = "row0|row1|row2";
+  EXPECT_TRUE(m.kernel->WriteFd(*proc, app.file_fd, blob, sizeof(blob)).ok());
+  EXPECT_TRUE(m.kernel->WriteFd(*proc, app.pipe_wfd, "inflight", 8).ok());
+  return app;
+}
+
+std::vector<uint8_t> ReadBackMemory(Process* proc, uint64_t addr, uint64_t bytes) {
+  std::vector<uint8_t> out(bytes);
+  for (uint64_t off = 0; off < bytes; off += kPageSize) {
+    EXPECT_TRUE(proc->vm().Read(addr + off, out.data() + off, kPageSize).ok());
+  }
+  return out;
+}
+
+// Runs the same deterministic multi-epoch workload on a fresh machine and
+// returns the restored heap contents after a reboot.
+std::vector<uint8_t> RunEpochsAndRestore(bool legacy, SimDuration* last_stop) {
+  Machine m;
+  RichApp app = BuildRichApp(m, 2 * kMiB);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  EXPECT_TRUE(m.sls->Attach(group, app.proc).ok());
+  group->legacy_stop_path = legacy;
+
+  Rng rng(0xA77);
+  for (int epoch = 0; epoch < 4; epoch++) {
+    for (int w = 0; w < 200; w++) {
+      uint64_t v = rng.Next();
+      EXPECT_TRUE(
+          app.proc->vm().Write(app.addr + rng.Below(app.mem_bytes - 8), &v, sizeof(v)).ok());
+    }
+    auto ckpt = m.sls->Checkpoint(group);
+    EXPECT_TRUE(ckpt.ok());
+    if (ckpt.ok()) {
+      *last_stop = ckpt->stop_time;
+      m.sim.clock.AdvanceTo(ckpt->durable_at);
+    }
+  }
+
+  m.Reboot();
+  auto restored = m.sls->Restore("app");
+  EXPECT_TRUE(restored.ok());
+  if (!restored.ok()) {
+    return {};
+  }
+  EXPECT_EQ(restored->group->processes.size(), 1u);
+  return ReadBackMemory(restored->group->processes[0], app.addr, app.mem_bytes);
+}
+
+// (b) Incremental protection leaves restored images byte-identical to the
+// full-sweep engine, and its steady-state stop is strictly cheaper.
+TEST(StopPath, IncrementalImageMatchesLegacyByteForByte) {
+  SimDuration legacy_stop = 0;
+  SimDuration incremental_stop = 0;
+  std::vector<uint8_t> legacy_image = RunEpochsAndRestore(true, &legacy_stop);
+  std::vector<uint8_t> incremental_image = RunEpochsAndRestore(false, &incremental_stop);
+  ASSERT_FALSE(legacy_image.empty());
+  ASSERT_EQ(legacy_image.size(), incremental_image.size());
+  EXPECT_TRUE(legacy_image == incremental_image)
+      << "restored heaps diverge between the legacy and incremental stop paths";
+  EXPECT_LT(incremental_stop, legacy_stop)
+      << "the incremental path should shrink the stopped window";
+}
+
+// The manifest bytes are identical in every serialization mode; only the
+// charged time differs.
+TEST(StopPath, SerializerModesProduceIdenticalBytes) {
+  Machine m;
+  RichApp app = BuildRichApp(m, 1 * kMiB);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  ASSERT_TRUE(m.sls->Attach(group, app.proc).ok());
+
+  FakeOids oids;
+  auto legacy = SerializeOsState(&m.sim, *group, 7, kInvalidOid, oids.Fn(), nullptr,
+                                 SerializeMode::kLegacy, nullptr);
+  ASSERT_TRUE(legacy.ok());
+
+  SerializeCache cache;
+  cache.pass++;
+  auto warm = SerializeOsState(&m.sim, *group, 7, kInvalidOid, oids.Fn(), nullptr,
+                               SerializeMode::kWarmCache, &cache);
+  ASSERT_TRUE(warm.ok());
+  cache.pass++;
+  auto assembled = SerializeOsState(&m.sim, *group, 7, kInvalidOid, oids.Fn(), nullptr,
+                                    SerializeMode::kAssemble, &cache);
+  ASSERT_TRUE(assembled.ok());
+
+  EXPECT_TRUE(*legacy == *warm);
+  EXPECT_TRUE(*legacy == *assembled);
+}
+
+// (c) Each mutating kernel op invalidates exactly the cached blobs it
+// touches; untracked mutations are caught by the byte-compare stale path.
+TEST(StopPath, CacheInvalidationPerMutatingOp) {
+  Machine m;
+  RichApp app = BuildRichApp(m, 1 * kMiB);
+  Process* proc = app.proc;
+  int kq_fd = *m.kernel->MakeKqueue(*proc);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  ASSERT_TRUE(m.sls->Attach(group, proc).ok());
+
+  FakeOids oids;
+  SerializeCache cache;
+  auto run_pass = [&]() {
+    cache.pass++;
+    auto r = SerializeOsState(&m.sim, *group, 3, kInvalidOid, oids.Fn(), nullptr,
+                              SerializeMode::kAssemble, &cache);
+    EXPECT_TRUE(r.ok());
+  };
+  struct Deltas {
+    uint64_t hits, misses, stale;
+  };
+  uint64_t hits0 = 0, misses0 = 0, stale0 = 0;
+  auto take_deltas = [&]() {
+    Deltas d{m.Counter("ckpt.serialize_cache_hits") - hits0,
+             m.Counter("ckpt.serialize_cache_misses") - misses0,
+             m.Counter("ckpt.serialize_cache_stale") - stale0};
+    hits0 += d.hits;
+    misses0 += d.misses;
+    stale0 += d.stale;
+    return d;
+  };
+
+  // Cold pass: everything misses.
+  run_pass();
+  Deltas cold = take_deltas();
+  EXPECT_GT(cold.misses, 0u);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.stale, 0u);
+  const uint64_t entities = cold.misses;
+
+  // Idle pass: everything hits.
+  run_pass();
+  Deltas idle = take_deltas();
+  EXPECT_EQ(idle.hits, entities);
+  EXPECT_EQ(idle.misses, 0u);
+  EXPECT_EQ(idle.stale, 0u);
+
+  // A vnode write dirties exactly the description and the vnode blobs.
+  ASSERT_TRUE(m.kernel->WriteFd(*proc, app.file_fd, "x", 1).ok());
+  run_pass();
+  Deltas write = take_deltas();
+  EXPECT_EQ(write.misses, 2u) << "WriteFd must invalidate the fd description and the vnode";
+  EXPECT_EQ(write.hits, entities - 2);
+  EXPECT_EQ(write.stale, 0u);
+
+  // A seek dirties only the description.
+  ASSERT_TRUE(m.kernel->SeekFd(*proc, app.file_fd, 0, 0).ok());
+  run_pass();
+  Deltas seek = take_deltas();
+  EXPECT_EQ(seek.misses, 1u) << "SeekFd must invalidate only the fd description";
+  EXPECT_EQ(seek.stale, 0u);
+
+  // A signal dirties only the process blob.
+  proc->PostSignal(10);
+  run_pass();
+  Deltas sig = take_deltas();
+  EXPECT_EQ(sig.misses, 1u) << "PostSignal must invalidate only the process blob";
+  EXPECT_EQ(sig.stale, 0u);
+
+  // A layout mutation (new mapping) also lands on the process blob.
+  auto obj = VmObject::CreateAnonymous(64 * kKiB);
+  ASSERT_TRUE(proc->vm().Map(0x7000000, 64 * kKiB, kProtRead | kProtWrite, obj, 0, false).ok());
+  run_pass();
+  Deltas map = take_deltas();
+  EXPECT_EQ(map.misses, 1u) << "Map must invalidate the process blob via the vm generation";
+  EXPECT_EQ(map.stale, 0u);
+
+  // Kqueue registration has no generation hook: the byte-compare safety net
+  // must catch it as stale and recharge it fresh rather than emit old bytes.
+  auto* kq = static_cast<Kqueue*>((*proc->fds().Get(kq_fd))->object.get());
+  kq->Register(KEvent{1, -1, 1, 0, 0, 42});
+  run_pass();
+  Deltas kqd = take_deltas();
+  EXPECT_EQ(kqd.stale, 1u) << "untracked mutation must be caught by the byte compare";
+  EXPECT_EQ(kqd.misses, 0u);
+}
+
+}  // namespace
+}  // namespace aurora

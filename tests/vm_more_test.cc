@@ -123,6 +123,9 @@ TEST_F(VmMoreTest, SystemShadowLeavesFileMappingsAlone) {
   (void)map.Map(0x100000, kPageSize, kProtRead | kProtWrite, file_obj, 0, false);
   auto anon = VmObject::CreateAnonymous(kPageSize);
   (void)map.Map(0x200000, kPageSize, kProtRead | kProtWrite, anon, 0, false);
+  // Dirty the anonymous mapping so the clean-skip optimization does not
+  // apply; the distinction under test is anonymous vs file-backed.
+  ASSERT_TRUE(map.Write(0x200000, "y", 1).ok());
 
   std::vector<VmMap*> maps{&map};
   auto pairs = CreateSystemShadows(maps, &sim_, nullptr, nullptr);

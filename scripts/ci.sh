@@ -27,6 +27,10 @@ for preset in default asan; do
   # legacy vs incremental images byte-identical, cache invalidation per op).
   "${build_dir}/tests/stop_path_test" >/dev/null
 
+  # The segment-log GC contract: compaction keeps churn space flat, never
+  # changes a retained epoch, and interleaves cleanly with the scrubber.
+  "${build_dir}/tests/segment_gc_test" >/dev/null
+
   # Error-propagation / determinism / hygiene gate: the tree must lint clean
   # and the linter must prove its own rules still fire on the fixtures.
   "${build_dir}/tools/aurora_lint/aurora_lint" src tools
@@ -44,6 +48,22 @@ for preset in default asan; do
       exit 1
     fi
   done
+
+  # The long-horizon soak: the segment log must actually reclaim whole
+  # segments and hold space flat (end-of-run within 10% of the mid-run
+  # steady state) across 10^4+ retained-churn epochs.
+  (cd "${build_dir}" && ./bench/bench_soak >/dev/null)
+  if ! grep -q '"gc.segments_reclaimed"' "${build_dir}/BENCH_soak.json"; then
+    echo "CI FAIL: gc.segments_reclaimed missing from ${build_dir}/BENCH_soak.json" >&2
+    exit 1
+  fi
+  flat=$(awk -F': ' '/"label": "segment-log end\/mid used"/{grab=1}
+                     grab && /"measured"/{gsub(/,/,"",$2); print $2; exit}' \
+         "${build_dir}/BENCH_soak.json")
+  if [[ -z "${flat}" ]] || ! awk -v r="${flat}" 'BEGIN{exit !(r <= 1.10)}'; then
+    echo "CI FAIL: segment-log soak space not flat (end/mid = ${flat:-missing})" >&2
+    exit 1
+  fi
 done
 
 # Best-effort clang-tidy pass over src/ using the curated .clang-tidy profile.

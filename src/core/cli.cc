@@ -203,6 +203,85 @@ Result<std::vector<std::string>> SlsCli::Scrub() {
   return out;
 }
 
+Result<std::vector<std::string>> SlsCli::Gc(bool run) {
+  ObjectStore* store = sls_->store();
+  std::vector<std::string> out;
+  char line[256];
+  if (store->layout() != StoreLayout::kSegmentLog) {
+    out.push_back("gc: store uses the legacy layout; nothing to compact");
+    return out;
+  }
+
+  if (run) {
+    AURORA_ASSIGN_OR_RETURN(GcRunReport report, sls_->gc()->Run());
+    std::snprintf(line, sizeof(line),
+                  "gc pass: examined=%llu compacted=%llu relocated=%llu blocks"
+                  " (%llu bytes) crc_errors=%llu io_errors=%llu%s",
+                  static_cast<unsigned long long>(report.segments_examined),
+                  static_cast<unsigned long long>(report.segments_compacted),
+                  static_cast<unsigned long long>(report.blocks_relocated),
+                  static_cast<unsigned long long>(report.bytes_relocated),
+                  static_cast<unsigned long long>(report.crc_errors),
+                  static_cast<unsigned long long>(report.io_errors),
+                  report.throttled ? " [throttled]" : "");
+    out.push_back(line);
+  }
+
+  SegmentStats stats = store->GetSegmentStats();
+  uint64_t bs = store->block_size();
+  std::snprintf(line, sizeof(line),
+                "segments: total=%llu free=%llu open=%llu sealed=%llu meta=%llu"
+                " journal=%llu zombie=%llu (x %llu blocks)",
+                static_cast<unsigned long long>(stats.segments_total),
+                static_cast<unsigned long long>(stats.segments_free),
+                static_cast<unsigned long long>(stats.segments_open),
+                static_cast<unsigned long long>(stats.segments_sealed),
+                static_cast<unsigned long long>(stats.segments_meta),
+                static_cast<unsigned long long>(stats.segments_journal),
+                static_cast<unsigned long long>(stats.segments_zombie),
+                static_cast<unsigned long long>(store->segment_blocks()));
+  out.push_back(line);
+  std::snprintf(line, sizeof(line),
+                "space: live=%llu bytes dead=%llu bytes used=%llu bytes reloc_entries=%llu",
+                static_cast<unsigned long long>(stats.live_blocks * bs),
+                static_cast<unsigned long long>(stats.dead_blocks * bs),
+                static_cast<unsigned long long>(store->UsedPhysicalBlocks() * bs),
+                static_cast<unsigned long long>(stats.reloc_entries));
+  out.push_back(line);
+  std::string hist = "utilization (sealed, emptiest decile first):";
+  for (uint64_t bucket : stats.util_histogram) {
+    std::snprintf(line, sizeof(line), " %llu", static_cast<unsigned long long>(bucket));
+    hist += line;
+  }
+  out.push_back(hist);
+
+  MetricsRegistry& metrics = sls_->sim()->metrics;
+  std::snprintf(line, sizeof(line),
+                "gc totals: runs=%llu segments_compacted=%llu segments_reclaimed=%llu"
+                " blocks_relocated=%llu throttle_defers=%llu",
+                static_cast<unsigned long long>(metrics.counter("gc.runs").value()),
+                static_cast<unsigned long long>(metrics.counter("gc.segments_compacted").value()),
+                static_cast<unsigned long long>(metrics.counter("gc.segments_reclaimed").value()),
+                static_cast<unsigned long long>(metrics.counter("gc.blocks_relocated").value()),
+                static_cast<unsigned long long>(metrics.counter("gc.throttle_defers").value()));
+  out.push_back(line);
+
+  for (ConsistencyGroup* group : sls_->Groups()) {
+    const RetentionPolicy& policy = group->retention;
+    if (policy.enabled()) {
+      std::snprintf(line, sizeof(line), "retention: %-16s keep_epochs=%llu max_age=%.0fms",
+                    group->name().c_str(),
+                    static_cast<unsigned long long>(policy.keep_epochs),
+                    ToMillis(policy.max_age));
+    } else {
+      std::snprintf(line, sizeof(line), "retention: %-16s disabled (all epochs kept)",
+                    group->name().c_str());
+    }
+    out.push_back(line);
+  }
+  return out;
+}
+
 Result<CheckpointStream> SlsCli::Send(const std::string& group_name, uint64_t epoch,
                                       uint64_t since_epoch) {
   // Manifest lookup is the same helper Sls::Restore and StoreBackend use.

@@ -76,6 +76,11 @@ class SlsCli {
   // verifying the per-extent CRCs against the media. One verdict line per
   // epoch plus one line per bad block, then a machine total.
   [[nodiscard]] Result<std::vector<std::string>> Scrub();
+  // sls gc: segment-log space report — segment-state census, live/dead
+  // bytes, sealed-segment utilization histogram, gc.* counters, and each
+  // group's retention policy. With `run`, drives one compaction pass first
+  // and reports what it did.
+  [[nodiscard]] Result<std::vector<std::string>> Gc(bool run = false);
 
   // sls send: serializes the group's newest durable checkpoint (manifest +
   // memory) into a stream, charging network transfer time. With

@@ -20,6 +20,20 @@ namespace aurora {
 
 class CheckpointBackend;
 
+// How long committed epochs stay restorable. Applied after every durable
+// full checkpoint of the group (store backend only): epochs outside the
+// policy are pruned from the store directory, their deadlists freed, and —
+// on the segment-log layout — the compactor immediately gets the resulting
+// dead space to reclaim. Both limits 0 (the default) keeps every epoch, the
+// pre-policy behavior.
+struct RetentionPolicy {
+  // Keep at most this many newest committed epochs (0 = unlimited).
+  uint64_t keep_epochs = 0;
+  // Prune epochs committed more than this long ago (0 = no age limit).
+  SimDuration max_age = 0;
+  bool enabled() const { return keep_epochs > 0 || max_age > 0; }
+};
+
 class ConsistencyGroup {
  public:
   ConsistencyGroup(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
@@ -45,6 +59,10 @@ class ConsistencyGroup {
   // Checkpoint destination. Null means the machine's object store; set a
   // registered backend via Sls::SetBackend before the first checkpoint.
   CheckpointBackend* backend = nullptr;
+
+  // Epoch retention (see RetentionPolicy). Driven by Sls after each durable
+  // full checkpoint; disabled by default.
+  RetentionPolicy retention;
 
   // Epoch overlap: how many checkpoint flushes may still be in flight when
   // the periodic scheduler opens a new epoch. 1 (the paper's behavior)

@@ -483,6 +483,69 @@ void Sls::CkptRelease(CheckpointContext* ctx) {
   sim_->tracer.EndAt(release_span, ctx->durable);
 }
 
+SegmentGc* Sls::gc() {
+  if (gc_ == nullptr) {
+    gc_ = std::make_unique<SegmentGc>(store_);
+  }
+  return gc_.get();
+}
+
+void Sls::ApplyRetention(CheckpointContext* ctx) {
+  // Only store-backed epochs live in the store directory; other backends
+  // manage their own history.
+  if (ctx->backend != store_backend_ || !ctx->group->retention.enabled()) {
+    return;
+  }
+  const RetentionPolicy& policy = ctx->group->retention;
+  std::vector<CheckpointInfo> checkpoints = store_->ListCheckpoints();
+  // Cutoff: the smallest epoch the policy still keeps. Both limits apply;
+  // the stricter one wins.
+  uint64_t cutoff = 0;
+  if (policy.keep_epochs > 0 && checkpoints.size() > policy.keep_epochs) {
+    cutoff = checkpoints[checkpoints.size() - policy.keep_epochs].epoch;
+  }
+  if (policy.max_age > 0) {
+    SimTime now = sim_->clock.now();
+    SimTime horizon = now > policy.max_age ? now - policy.max_age : 0;
+    // The smallest epoch young enough to keep; if every epoch is stale the
+    // newest still survives (DeleteCheckpointsBefore keeps the recovery point).
+    uint64_t age_cutoff = checkpoints.empty() ? 0 : checkpoints.back().epoch;
+    for (const CheckpointInfo& info : checkpoints) {
+      if (info.committed_at >= horizon) {
+        age_cutoff = info.epoch;
+        break;
+      }
+    }
+    cutoff = std::max(cutoff, age_cutoff);
+  }
+  // Never prune any group's newest restorable manifest: clamp the cutoff to
+  // the oldest last-manifest epoch across every store-backed group.
+  for (const auto& group : groups_) {
+    if (group->last_manifest_epoch > 0 && GroupBackend(group.get()) == store_backend_) {
+      cutoff = std::min(cutoff, group->last_manifest_epoch);
+    }
+  }
+  if (cutoff > 0) {
+    Status pruned = store_->DeleteCheckpointsBefore(cutoff);
+    if (pruned.ok()) {
+      size_t remaining = store_->ListCheckpoints().size();
+      if (checkpoints.size() > remaining) {
+        sim_->metrics.counter("ckpt.retention_pruned").Add(checkpoints.size() - remaining);
+      }
+    } else {
+      sim_->metrics.counter("ckpt.retention_prune_failures").Add();
+    }
+  }
+  if (gc_auto_ && store_->layout() == StoreLayout::kSegmentLog) {
+    Result<GcRunReport> run = gc()->Run();
+    if (!run.ok()) {
+      // Compaction failure never fails the checkpoint: the dead space just
+      // waits for the next pass.
+      sim_->metrics.counter("gc.run_failures").Add();
+    }
+  }
+}
+
 namespace {
 // Failures the pipeline degrades on rather than propagates: the device (or
 // link) gave up after retries, or returned provably corrupt data. Logic
@@ -565,6 +628,7 @@ Result<CheckpointResult> Sls::Checkpoint(ConsistencyGroup* group, const std::str
     return ctx.result;
   }
   CkptRelease(&ctx);
+  ApplyRetention(&ctx);
   return ctx.result;
 }
 

@@ -26,6 +26,7 @@
 #include "src/core/serialize.h"
 #include "src/fs/aurora_fs.h"
 #include "src/objstore/object_store.h"
+#include "src/objstore/segment_gc.h"
 #include "src/posix/kernel.h"
 
 namespace aurora {
@@ -175,6 +176,19 @@ class Sls {
                                               const std::shared_ptr<Socket>& socket,
                                               const void* data, uint64_t len);
 
+  // --- Retention + segment GC ----------------------------------------------
+  // Arms automatic epoch pruning for the group: after every durable full
+  // checkpoint through the store backend, epochs outside the policy are
+  // dropped from the store directory and (on the segment-log layout, unless
+  // SetAutoGc(false)) a compaction pass reclaims the dead space.
+  void SetRetentionPolicy(ConsistencyGroup* group, const RetentionPolicy& policy) {
+    group->retention = policy;
+  }
+  void SetAutoGc(bool enabled) { gc_auto_ = enabled; }
+  // The store compactor (created on first use). For the CLI, tests, and
+  // manual `sls gc` passes; null only if allocation ever fails.
+  SegmentGc* gc();
+
   // --- Introspection -------------------------------------------------------
   // Locates the manifest for `group_name` at `epoch` (0 = latest).
   [[nodiscard]] Result<std::pair<uint64_t, Oid>> FindManifest(const std::string& group_name,
@@ -226,6 +240,9 @@ class Sls {
   // Wraps every restored top object in a live shadow so the next checkpoint
   // is incremental rather than a full rewrite.
   void WrapRestoredTops(ConsistencyGroup* group);
+  // Post-commit epilogue: prunes epochs outside the group's retention policy
+  // and, when auto-GC is on, runs one compaction pass over the freed space.
+  void ApplyRetention(CheckpointContext* ctx);
 
   SimContext* sim_;
   Kernel* kernel_;
@@ -248,6 +265,10 @@ class Sls {
   std::map<ConsistencyGroup*, SimTime> last_durable_;
   // One stderr line the first time an epoch aborts; counters track the rest.
   bool abort_logged_ = false;
+  // Store compactor, created lazily by gc(); auto-GC runs it after each
+  // retention prune unless disabled.
+  std::unique_ptr<SegmentGc> gc_;
+  bool gc_auto_ = true;
   // Completion time of an in-progress eager restore's read stream.
   std::shared_ptr<SimTime> full_restore_done_;
 

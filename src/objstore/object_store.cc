@@ -16,7 +16,8 @@ constexpr uint32_t kSuperMagic = 0x41555253;  // "AURS"
 constexpr uint32_t kMetaMagic = 0x4155524d;   // "AURM"
 constexpr uint32_t kJournalMagic = 0x4155524a;  // "AURJ"
 // v2: per-extent CRC32C in the metadata blob (end-to-end block integrity).
-constexpr uint32_t kVersion = 2;
+// v3: segment-log layout — segment table, relocation map, per-deadentry CRC.
+constexpr uint32_t kVersion = 3;
 constexpr int kSuperSlots = 8;
 constexpr size_t kSuperNameMax = 64;
 
@@ -114,6 +115,16 @@ Status ObjectStore::VerifyBlockCrc(const Extent& extent, const uint8_t* data) {
                        "store block checksum mismatch at phys " + std::to_string(extent.phys));
 }
 
+Status ObjectStore::ReadBlockVerified(uint64_t phys, uint32_t crc, uint8_t* buf) {
+  AURORA_RETURN_IF_ERROR(DevReadSync(DevLba(phys), buf, DevBlocksPerStoreBlock()));
+  if (Crc32c(buf, options_.block_size) != crc) {
+    sim_->metrics.counter("io.crc_errors").Add();
+    return Status::Error(Errc::kCorrupt,
+                         "store block checksum mismatch at phys " + std::to_string(phys));
+  }
+  return Status::Ok();
+}
+
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Format(BlockDevice* device, SimContext* sim,
                                                          StoreOptions options) {
   if (options.block_size % device->block_size() != 0) {
@@ -131,10 +142,25 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Format(BlockDevice* device, Si
   // let later superblock writes corrupt committed data.
   uint64_t ring_blocks =
       (kSuperSlots + store->DevBlocksPerStoreBlock() - 1) / store->DevBlocksPerStoreBlock();
-  for (uint64_t b = 0; b < std::max<uint64_t>(ring_blocks, 1); b++) {
+  ring_blocks = std::max<uint64_t>(ring_blocks, 1);
+  for (uint64_t b = 0; b < ring_blocks; b++) {
     store->BitSet(b, true);
   }
   store->alloc_cursor_ = std::max<uint64_t>(store->alloc_cursor_, ring_blocks);
+  if (store->options_.layout == StoreLayout::kSegmentLog) {
+    if (store->options_.segment_blocks < 2) {
+      return Status::Error(Errc::kInvalidArgument, "segment_blocks too small");
+    }
+    if (ring_blocks > store->options_.segment_blocks) {
+      return Status::Error(Errc::kInvalidArgument, "superblock ring exceeds one segment");
+    }
+    store->InitSegments();
+    // Segment 0 is the first metadata segment; its cursor starts past the
+    // superblock ring so the first blob lands exactly where kLegacy put it.
+    store->segments_[0].state = SegState::kMeta;
+    store->segments_[0].cursor = ring_blocks;
+    store->open_meta_seg_ = 0;
+  }
   AURORA_ASSIGN_OR_RETURN(SimTime done, store->CommitCheckpoint("format"));
   sim->clock.AdvanceTo(done);
   return store;
@@ -205,7 +231,10 @@ void ObjectStore::BitSet(uint64_t block, bool v) {
   }
 }
 
-Result<uint64_t> ObjectStore::AllocBlock() {
+Result<uint64_t> ObjectStore::AllocBlock(uint32_t lane) {
+  if (options_.layout == StoreLayout::kSegmentLog) {
+    return AppendBlock(lane);
+  }
   for (uint64_t scanned = 0; scanned < total_blocks_; scanned++) {
     uint64_t candidate = alloc_cursor_;
     alloc_cursor_ = (alloc_cursor_ + 1 == total_blocks_) ? 1 : alloc_cursor_ + 1;
@@ -218,6 +247,203 @@ Result<uint64_t> ObjectStore::AllocBlock() {
     }
   }
   return Status::Error(Errc::kNoSpace, "store full");
+}
+
+// --- Segment log -------------------------------------------------------------
+
+void ObjectStore::InitSegments() {
+  uint64_t nsegs =
+      (total_blocks_ + options_.segment_blocks - 1) / options_.segment_blocks;
+  segments_.assign(nsegs, Segment{});
+  open_data_seg_.clear();
+  reloc_.clear();
+}
+
+uint64_t ObjectStore::SegCapacity(uint64_t seg) const {
+  uint64_t base = SegBase(seg);
+  return std::min<uint64_t>(options_.segment_blocks, total_blocks_ - base);
+}
+
+uint64_t ObjectStore::SegLiveBlocks(uint64_t seg) const {
+  uint64_t live = 0;
+  uint64_t base = SegBase(seg);
+  uint64_t end = base + SegCapacity(seg);
+  for (uint64_t b = base; b < end; b++) {
+    live += BitGet(b) ? 1 : 0;
+  }
+  return live;
+}
+
+Result<uint64_t> ObjectStore::AllocSegment(SegState state, uint32_t lane) {
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    if (segments_[seg].state == SegState::kFree) {
+      segments_[seg] = Segment{state, lane, 0};
+      sim_->metrics.counter("store.segments_opened").Add();
+      return seg;
+    }
+  }
+  return Status::Error(Errc::kNoSpace, "no free segment");
+}
+
+Result<uint64_t> ObjectStore::AppendBlock(uint32_t lane) {
+  auto it = open_data_seg_.find(lane);
+  if (it == open_data_seg_.end() || segments_[it->second].cursor >= SegCapacity(it->second)) {
+    if (it != open_data_seg_.end()) {
+      segments_[it->second].state = SegState::kSealed;
+      sim_->metrics.counter("store.segments_sealed").Add();
+    }
+    AURORA_ASSIGN_OR_RETURN(uint64_t seg, AllocSegment(SegState::kOpen, lane));
+    it = open_data_seg_.insert_or_assign(lane, seg).first;
+  }
+  Segment& seg = segments_[it->second];
+  uint64_t phys = SegBase(it->second) + seg.cursor;
+  seg.cursor++;
+  BitSet(phys, true);
+  stats_.blocks_allocated++;
+  sim_->metrics.counter("store.blocks_allocated").Add();
+  sim_->clock.Advance(sim_->cost.lock_acquire);
+  return phys;
+}
+
+Result<uint64_t> ObjectStore::AllocMetaRun(uint64_t nblocks) {
+  const uint64_t s = options_.segment_blocks;
+  if (nblocks <= s) {
+    Segment* open = &segments_[open_meta_seg_];
+    if (open->cursor + nblocks > SegCapacity(open_meta_seg_)) {
+      AURORA_ASSIGN_OR_RETURN(uint64_t seg, AllocSegment(SegState::kMeta, 0));
+      open_meta_seg_ = seg;
+      open = &segments_[seg];
+    }
+    uint64_t start = SegBase(open_meta_seg_) + open->cursor;
+    open->cursor += nblocks;
+    for (uint64_t b = 0; b < nblocks; b++) {
+      BitSet(start + b, true);
+    }
+    stats_.blocks_allocated += nblocks;
+    sim_->metrics.counter("store.blocks_allocated").Add(nblocks);
+    return start;
+  }
+  // Oversized blob: a run of contiguous free segments (rare; giant tables).
+  uint64_t nsegs = (nblocks + s - 1) / s;
+  uint64_t run = 0;
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    run = (segments_[seg].state == SegState::kFree && SegCapacity(seg) == s) ? run + 1 : 0;
+    if (run < nsegs) {
+      continue;
+    }
+    uint64_t first = seg - nsegs + 1;
+    uint64_t remaining = nblocks;
+    for (uint64_t i = first; i <= seg; i++) {
+      uint64_t take = std::min<uint64_t>(remaining, s);
+      segments_[i] = Segment{SegState::kMeta, 0, take};
+      remaining -= take;
+    }
+    uint64_t start = SegBase(first);
+    for (uint64_t b = 0; b < nblocks; b++) {
+      BitSet(start + b, true);
+    }
+    stats_.blocks_allocated += nblocks;
+    sim_->metrics.counter("store.blocks_allocated").Add(nblocks);
+    return start;
+  }
+  return Status::Error(Errc::kNoSpace, "no contiguous segment run for metadata");
+}
+
+void ObjectStore::FreeMetaRun(uint64_t start, uint64_t nblocks) {
+  // Commit-failure rollback. Rewind the open meta segment's cursor when the
+  // run is exactly its tail; otherwise the blocks just become dead and the
+  // segment reclaims when its last blob is pruned.
+  Segment& open = segments_[open_meta_seg_];
+  bool is_tail = SegmentOf(start) == open_meta_seg_ &&
+                 start + nblocks == SegBase(open_meta_seg_) + open.cursor;
+  for (uint64_t b = 0; b < nblocks; b++) {
+    BitSet(start + b, false);
+    stats_.blocks_freed++;
+    sim_->metrics.counter("store.blocks_freed").Add();
+  }
+  if (is_tail) {
+    open.cursor -= nblocks;
+  } else {
+    for (uint64_t seg = SegmentOf(start); seg <= SegmentOf(start + nblocks - 1); seg++) {
+      MaybeReclaimSegment(seg);
+    }
+  }
+}
+
+Result<uint64_t> ObjectStore::AllocJournalRun(uint64_t nblocks) {
+  const uint64_t s = options_.segment_blocks;
+  uint64_t nsegs = (nblocks + s - 1) / s;
+  uint64_t run = 0;
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    run = (segments_[seg].state == SegState::kFree && SegCapacity(seg) == s) ? run + 1 : 0;
+    if (run < nsegs) {
+      continue;
+    }
+    uint64_t first = seg - nsegs + 1;
+    uint64_t remaining = nblocks;
+    for (uint64_t i = first; i <= seg; i++) {
+      uint64_t take = std::min<uint64_t>(remaining, s);
+      segments_[i] = Segment{SegState::kJournal, 0, take};
+      remaining -= take;
+    }
+    uint64_t start = SegBase(first);
+    for (uint64_t b = 0; b < nblocks; b++) {
+      BitSet(start + b, true);
+    }
+    stats_.blocks_allocated += nblocks;
+    sim_->metrics.counter("store.blocks_allocated").Add(nblocks);
+    return start;
+  }
+  return Status::Error(Errc::kNoSpace, "no contiguous segment run for journal");
+}
+
+void ObjectStore::FreeJournalRun(uint64_t start, uint64_t nblocks) {
+  for (uint64_t b = 0; b < nblocks; b++) {
+    BitSet(start + b, false);
+    stats_.blocks_freed++;
+    sim_->metrics.counter("store.blocks_freed").Add();
+  }
+  for (uint64_t seg = SegmentOf(start); seg <= SegmentOf(start + nblocks - 1); seg++) {
+    segments_[seg] = Segment{};
+    sim_->metrics.counter("store.segments_reclaimed").Add();
+  }
+}
+
+void ObjectStore::MaybeReclaimSegment(uint64_t seg) {
+  const Segment& s = segments_[seg];
+  // Only quiescent segments reclaim here: open segments are still appended
+  // to, journals are freed wholesale, the open meta segment keeps its append
+  // cursor, and zombies wait for the next durable commit (ReclaimZombies).
+  if (s.state != SegState::kSealed &&
+      (s.state != SegState::kMeta || seg == open_meta_seg_)) {
+    return;
+  }
+  if (SegLiveBlocks(seg) != 0) {
+    return;
+  }
+  segments_[seg] = Segment{};
+  sim_->metrics.counter("store.segments_reclaimed").Add();
+}
+
+void ObjectStore::ReclaimZombies() {
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    if (segments_[seg].state == SegState::kZombie) {
+      segments_[seg] = Segment{};
+      sim_->metrics.counter("store.segments_reclaimed").Add();
+      sim_->metrics.counter("gc.segments_reclaimed").Add();
+    }
+  }
+}
+
+uint64_t ObjectStore::TranslatePhys(uint64_t phys, uint64_t view_epoch) const {
+  // A blob committed at view_epoch references the pre-relocation location
+  // only if the move happened after it was written; newer blobs already
+  // carry the new pointers (and the old address may have been reused since).
+  auto it = reloc_.find(phys);
+  if (it != reloc_.end() && view_epoch < it->second.reloc_epoch) {
+    return it->second.new_phys;
+  }
+  return phys;
 }
 
 Result<uint64_t> ObjectStore::AllocContiguous(uint64_t nblocks) {
@@ -245,15 +471,18 @@ void ObjectStore::FreeBlock(uint64_t block) {
   BitSet(block, false);
   stats_.blocks_freed++;
   sim_->metrics.counter("store.blocks_freed").Add();
+  if (options_.layout == StoreLayout::kSegmentLog && !segments_.empty()) {
+    MaybeReclaimSegment(SegmentOf(block));
+  }
 }
 
-void ObjectStore::KillBlock(uint64_t phys, uint64_t birth) {
+void ObjectStore::KillBlock(uint64_t phys, uint64_t birth, uint32_t crc) {
   if (birth == epoch_) {
     // Born and killed inside the same uncommitted epoch: no checkpoint can
     // reference it, reuse immediately.
     FreeBlock(phys);
   } else {
-    deadlists_[epoch_].push_back(DeadEntry{birth, phys});
+    deadlists_[epoch_].push_back(DeadEntry{birth, phys, crc});
   }
 }
 
@@ -263,6 +492,57 @@ uint64_t ObjectStore::FreeBlocks() const {
     used += BitGet(b) ? 1 : 0;
   }
   return total_blocks_ - used;
+}
+
+uint64_t ObjectStore::UsedPhysicalBlocks() const {
+  if (options_.layout != StoreLayout::kSegmentLog || segments_.empty()) {
+    return total_blocks_ - FreeBlocks();
+  }
+  uint64_t used = 0;
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    if (segments_[seg].state != SegState::kFree) {
+      used += segments_[seg].cursor;
+    }
+  }
+  return used;
+}
+
+SegmentStats ObjectStore::GetSegmentStats() const {
+  SegmentStats out;
+  out.segments_total = segments_.size();
+  out.reloc_entries = reloc_.size();
+  for (uint64_t seg = 0; seg < segments_.size(); seg++) {
+    const Segment& s = segments_[seg];
+    switch (s.state) {
+      case SegState::kFree: out.segments_free++; break;
+      case SegState::kOpen: out.segments_open++; break;
+      case SegState::kSealed: out.segments_sealed++; break;
+      case SegState::kMeta: out.segments_meta++; break;
+      case SegState::kJournal: out.segments_journal++; break;
+      case SegState::kZombie: out.segments_zombie++; break;
+    }
+    if (s.state == SegState::kFree) {
+      continue;
+    }
+    uint64_t live = SegLiveBlocks(seg);
+    out.live_blocks += live;
+    out.dead_blocks += s.cursor - std::min(live, s.cursor);
+    if (s.state == SegState::kSealed && s.cursor > 0) {
+      uint64_t decile = live * 10 / s.cursor;
+      out.util_histogram[std::min<uint64_t>(decile, 9)]++;
+    }
+  }
+  return out;
+}
+
+void ObjectStore::PublishSegmentGauges() {
+  SegmentStats s = GetSegmentStats();
+  sim_->metrics.gauge("store.segment_free").Set(s.segments_free);
+  sim_->metrics.gauge("store.segment_sealed").Set(s.segments_sealed);
+  sim_->metrics.gauge("store.segment_live_blocks").Set(s.live_blocks);
+  sim_->metrics.gauge("store.segment_dead_blocks").Set(s.dead_blocks);
+  sim_->metrics.gauge("store.segment_reloc_entries").Set(s.reloc_entries);
+  sim_->metrics.gauge("store.used_blocks").Set(UsedPhysicalBlocks());
 }
 
 // --- Objects -----------------------------------------------------------------
@@ -284,12 +564,16 @@ Status ObjectStore::DeleteObject(Oid oid) {
     return Status::Error(Errc::kNotFound, "no such object");
   }
   if (it->second.non_cow) {
-    for (uint64_t b = 0; b < it->second.journal_blocks; b++) {
-      FreeBlock(it->second.journal_start + b);
+    if (options_.layout == StoreLayout::kSegmentLog) {
+      FreeJournalRun(it->second.journal_start, it->second.journal_blocks);
+    } else {
+      for (uint64_t b = 0; b < it->second.journal_blocks; b++) {
+        FreeBlock(it->second.journal_start + b);
+      }
     }
   }
   for (auto& [logical, extent] : it->second.extents) {
-    KillBlock(extent.phys, extent.birth);
+    KillBlock(extent.phys, extent.birth, extent.crc);
   }
   objects_.erase(it);
   return Status::Ok();
@@ -320,7 +604,7 @@ Status ObjectStore::SetSize(Oid oid, uint64_t size) {
   if (size < info.size) {
     uint64_t first_dead = (size + options_.block_size - 1) / options_.block_size;
     for (auto ext = info.extents.lower_bound(first_dead); ext != info.extents.end();) {
-      KillBlock(ext->second.phys, ext->second.birth);
+      KillBlock(ext->second.phys, ext->second.birth, ext->second.crc);
       ext = info.extents.erase(ext);
     }
   }
@@ -345,6 +629,17 @@ void ObjectStore::SetFlushLanes(uint32_t lanes) {
   flush_lanes_ = lanes;
   lane_last_done_.assign(lanes, sim_->clock.now());
   device_->SetQueueCount(lanes);
+  // Lanes that no longer exist will never append again; seal their open
+  // segments so the compactor can consider them instead of stranding them.
+  for (auto it = open_data_seg_.begin(); it != open_data_seg_.end();) {
+    if (it->first != kGcLane && it->first >= lanes) {
+      segments_[it->second].state = SegState::kSealed;
+      sim_->metrics.counter("store.segments_sealed").Add();
+      it = open_data_seg_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 uint32_t ObjectStore::NextFlushLane() {
@@ -407,14 +702,14 @@ Result<SimTime> ObjectStore::WriteAt(Oid oid, uint64_t off, const void* data, ui
     std::memcpy(buf.data() + in_block, src, chunk);
 
     uint32_t crc = Crc32c(buf.data(), bs);
-    AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
     uint32_t lane = NextFlushLane();
+    AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock(lane));
     AURORA_ASSIGN_OR_RETURN(
         SimTime wdone, DevWrite(lane, DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
 
     if (old != info.extents.end()) {
-      KillBlock(old->second.phys, old->second.birth);
+      KillBlock(old->second.phys, old->second.birth, old->second.crc);
       old->second = Extent{phys, epoch_, crc};
     } else {
       info.extents[logical] = Extent{phys, epoch_, crc};
@@ -491,14 +786,14 @@ Result<SimTime> ObjectStore::WriteAtBatch(Oid oid, const std::vector<IoRun>& run
       sim_->metrics.counter("store.bytes_written").Add(r.len);
     }
     uint32_t crc = Crc32c(buf.data(), bs);
-    AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock());
+    AURORA_ASSIGN_OR_RETURN(uint64_t phys, AllocBlock(lane));
     AURORA_ASSIGN_OR_RETURN(
         SimTime wdone, DevWrite(lane, DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
     done = std::max(done, wdone);
     lane_bytes += bs;
     RecordLaneIo(lane, lane_bytes, wdone);
     if (old != info.extents.end()) {
-      KillBlock(old->second.phys, old->second.birth);
+      KillBlock(old->second.phys, old->second.birth, old->second.crc);
       old->second = Extent{phys, epoch_, crc};
     } else {
       info.extents[logical] = Extent{phys, epoch_, crc};
@@ -573,6 +868,7 @@ std::vector<uint8_t> ObjectStore::SerializeMeta() const {
     for (const DeadEntry& e : entries) {
       w.PutU64(e.birth);
       w.PutU64(e.phys);
+      w.PutU32(e.crc);
     }
   }
 
@@ -587,6 +883,32 @@ std::vector<uint8_t> ObjectStore::SerializeMeta() const {
 
   w.PutU64(total_blocks_);
   w.PutBytes(bitmap_.data(), bitmap_.size());
+
+  // v3 layout section. Everything here is fixed-width per element and the
+  // element counts cannot change between the two serialization passes of a
+  // commit (AllocMetaRun moves cursors, never the segment count).
+  w.PutU8(static_cast<uint8_t>(options_.layout));
+  w.PutU32(options_.segment_blocks);
+  if (options_.layout == StoreLayout::kSegmentLog) {
+    w.PutU64(segments_.size());
+    for (const Segment& s : segments_) {
+      w.PutU8(static_cast<uint8_t>(s.state));
+      w.PutU32(s.lane);
+      w.PutU64(s.cursor);
+    }
+    w.PutU64(reloc_.size());
+    for (const auto& [old_phys, entry] : reloc_) {
+      w.PutU64(old_phys);
+      w.PutU64(entry.new_phys);
+      w.PutU64(entry.reloc_epoch);
+    }
+    w.PutU64(open_meta_seg_);
+    w.PutU64(open_data_seg_.size());
+    for (const auto& [lane, seg] : open_data_seg_) {
+      w.PutU32(lane);
+      w.PutU64(seg);
+    }
+  }
 
   uint32_t crc = Crc32c(w.data().data(), w.size());
   w.PutU32(crc);
@@ -649,6 +971,7 @@ Status ObjectStore::DeserializeMeta(const std::vector<uint8_t>& blob) {
       DeadEntry e;
       AURORA_ASSIGN_OR_RETURN(e.birth, r.U64());
       AURORA_ASSIGN_OR_RETURN(e.phys, r.U64());
+      AURORA_ASSIGN_OR_RETURN(e.crc, r.U32());
       list.push_back(e);
     }
   }
@@ -668,6 +991,49 @@ Status ObjectStore::DeserializeMeta(const std::vector<uint8_t>& blob) {
   AURORA_ASSIGN_OR_RETURN(total_blocks_, r.U64());
   AURORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap, r.Bytes());
   bitmap_ = std::move(bitmap);
+
+  AURORA_ASSIGN_OR_RETURN(uint8_t layout, r.U8());
+  options_.layout = static_cast<StoreLayout>(layout);
+  AURORA_ASSIGN_OR_RETURN(options_.segment_blocks, r.U32());
+  segments_.clear();
+  open_data_seg_.clear();
+  reloc_.clear();
+  open_meta_seg_ = 0;
+  if (options_.layout == StoreLayout::kSegmentLog) {
+    AURORA_ASSIGN_OR_RETURN(uint64_t nsegs, r.U64());
+    segments_.reserve(nsegs);
+    for (uint64_t i = 0; i < nsegs; i++) {
+      Segment s;
+      AURORA_ASSIGN_OR_RETURN(uint8_t state, r.U8());
+      s.state = static_cast<SegState>(state);
+      AURORA_ASSIGN_OR_RETURN(s.lane, r.U32());
+      AURORA_ASSIGN_OR_RETURN(s.cursor, r.U64());
+      if (s.state == SegState::kZombie) {
+        // The blob we are recovering from is durable, so no surviving pointer
+        // references the evacuated segment: it is simply free.
+        s = Segment{};
+      }
+      segments_.push_back(s);
+    }
+    AURORA_ASSIGN_OR_RETURN(uint64_t nreloc, r.U64());
+    for (uint64_t i = 0; i < nreloc; i++) {
+      uint64_t old_phys = 0;
+      RelocEntry entry;
+      AURORA_ASSIGN_OR_RETURN(old_phys, r.U64());
+      AURORA_ASSIGN_OR_RETURN(entry.new_phys, r.U64());
+      AURORA_ASSIGN_OR_RETURN(entry.reloc_epoch, r.U64());
+      reloc_[old_phys] = entry;
+    }
+    AURORA_ASSIGN_OR_RETURN(open_meta_seg_, r.U64());
+    AURORA_ASSIGN_OR_RETURN(uint64_t nopen, r.U64());
+    for (uint64_t i = 0; i < nopen; i++) {
+      uint32_t lane = 0;
+      uint64_t seg = 0;
+      AURORA_ASSIGN_OR_RETURN(lane, r.U32());
+      AURORA_ASSIGN_OR_RETURN(seg, r.U64());
+      open_data_seg_[lane] = seg;
+    }
+  }
   return Status::Ok();
 }
 
@@ -703,7 +1069,15 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
   // allocating the metadata blocks between passes cannot change the size.
   std::vector<uint8_t> blob = SerializeMeta();
   uint64_t nblocks = (blob.size() + options_.block_size - 1) / options_.block_size;
-  AURORA_ASSIGN_OR_RETURN(uint64_t meta_block, AllocContiguous(nblocks));
+  const bool seglog = options_.layout == StoreLayout::kSegmentLog;
+  uint64_t meta_block = 0;
+  if (seglog) {
+    // AllocMetaRun only moves bits and fixed-width segment cursors, so the
+    // two-pass size-stability argument holds exactly as for AllocContiguous.
+    AURORA_ASSIGN_OR_RETURN(meta_block, AllocMetaRun(nblocks));
+  } else {
+    AURORA_ASSIGN_OR_RETURN(meta_block, AllocContiguous(nblocks));
+  }
   blob = SerializeMeta();
   sim_->clock.Advance(sim_->cost.Serialize(blob.size()));
 
@@ -717,8 +1091,12 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
   if (!meta_wrote.ok()) {
     // A failed commit leaves the epoch open for another attempt; it must not
     // leak its metadata blocks or record a checkpoint nobody can read.
-    for (uint64_t b = 0; b < nblocks; b++) {
-      FreeBlock(meta_block + b);
+    if (seglog) {
+      FreeMetaRun(meta_block, nblocks);
+    } else {
+      for (uint64_t b = 0; b < nblocks; b++) {
+        FreeBlock(meta_block + b);
+      }
     }
     return meta_wrote.status();
   }
@@ -729,8 +1107,12 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
   Status super = WriteSuperblock(meta_block, blob.size(), &super_done);
   if (!super.ok()) {
     checkpoints_.pop_back();
-    for (uint64_t b = 0; b < nblocks; b++) {
-      FreeBlock(meta_block + b);
+    if (seglog) {
+      FreeMetaRun(meta_block, nblocks);
+    } else {
+      for (uint64_t b = 0; b < nblocks; b++) {
+        FreeBlock(meta_block + b);
+      }
     }
     return super;
   }
@@ -740,6 +1122,13 @@ Result<SimTime> ObjectStore::CommitCheckpoint(const std::string& name) {
   stats_.commits++;
   sim_->metrics.counter("store.commits").Add();
   sim_->metrics.counter("store.meta_bytes").Add(blob.size());
+  if (seglog) {
+    // Segments evacuated by GC during the epoch just sealed are now
+    // unreferenced by every durable pointer: the rewritten table is on media
+    // and the superblock points at it.
+    ReclaimZombies();
+    PublishSegmentGauges();
+  }
   return done;
 }
 
@@ -779,6 +1168,22 @@ Status ObjectStore::DeleteCheckpointsBefore(uint64_t epoch) {
       it = checkpoints_.erase(it);
     } else {
       ++it;
+    }
+  }
+  // Relocation entries exist for readers of blobs older than the move. Once
+  // every retained checkpoint is at least as new as reloc_epoch, no reader
+  // can present an old enough view and the entry expires.
+  if (options_.layout == StoreLayout::kSegmentLog && !reloc_.empty()) {
+    uint64_t min_retained = epoch_;
+    for (const CheckpointRecord& c : checkpoints_) {
+      min_retained = std::min(min_retained, c.epoch);
+    }
+    for (auto it = reloc_.begin(); it != reloc_.end();) {
+      if (it->second.reloc_epoch <= min_retained) {
+        it = reloc_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return Status::Ok();
@@ -833,16 +1238,20 @@ Status ObjectStore::ReadAtEpoch(uint64_t epoch, Oid oid, uint64_t off, void* out
       std::memset(dst, 0, chunk);
     } else if (completion != nullptr) {
       // Streaming restore: reads pipeline, and with flush lanes configured
-      // they also fan out over the device submission queues.
+      // they also fan out over the device submission queues. The checkpoint's
+      // recorded location translates through the relocation map in case GC
+      // moved the block after this epoch committed.
+      uint64_t phys = TranslatePhys(ext->second.phys, epoch);
       AURORA_ASSIGN_OR_RETURN(
-          SimTime t, DevRead(NextFlushLane(), DevLba(ext->second.phys), buf.data(),
+          SimTime t, DevRead(NextFlushLane(), DevLba(phys), buf.data(),
                              DevBlocksPerStoreBlock()));
       AURORA_RETURN_IF_ERROR(VerifyBlockCrc(ext->second, buf.data()));
       done = std::max(done, t);
       std::memcpy(dst, buf.data() + in_block, chunk);
     } else {
+      uint64_t phys = TranslatePhys(ext->second.phys, epoch);
       AURORA_RETURN_IF_ERROR(
-          DevReadSync(DevLba(ext->second.phys), buf.data(), DevBlocksPerStoreBlock()));
+          DevReadSync(DevLba(phys), buf.data(), DevBlocksPerStoreBlock()));
       AURORA_RETURN_IF_ERROR(VerifyBlockCrc(ext->second, buf.data()));
       std::memcpy(dst, buf.data() + in_block, chunk);
     }
@@ -959,7 +1368,12 @@ Result<Oid> ObjectStore::CreateJournal(uint64_t capacity_bytes) {
   // usable record capacity is one device block less than requested.
   const uint32_t dev_bs = device_->block_size();
   uint64_t nblocks = (capacity_bytes + options_.block_size - 1) / options_.block_size;
-  AURORA_ASSIGN_OR_RETURN(uint64_t start, AllocContiguous(nblocks));
+  uint64_t start = 0;
+  if (options_.layout == StoreLayout::kSegmentLog) {
+    AURORA_ASSIGN_OR_RETURN(start, AllocJournalRun(nblocks));
+  } else {
+    AURORA_ASSIGN_OR_RETURN(start, AllocContiguous(nblocks));
+  }
   Oid oid{next_oid_++};
   ObjectInfo info;
   info.type = ObjType::kJournal;

@@ -14,9 +14,17 @@
 //   * Non-COW journal objects for the sls_journal API: preallocated extents
 //     updated in place with self-describing records, giving the 28 us
 //     synchronous 4 KiB append of section 7.
+//   * Log-structured layout (the default): the device is carved into
+//     fixed-size segments and every COW write appends to a per-lane open
+//     segment. Overwrites only mark the old block dead; whole segments are
+//     reclaimed when pruning (or the background SegmentGc) drains them, so
+//     long-horizon runs see flat space usage instead of allocator
+//     exhaustion. StoreLayout::kLegacy keeps the original free-list
+//     allocator as a comparison baseline.
 #ifndef SRC_OBJSTORE_OBJECT_STORE_H_
 #define SRC_OBJSTORE_OBJECT_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,8 +54,18 @@ struct CheckpointInfo {
   SimTime committed_at = 0;
 };
 
+// On-device data layout. kSegmentLog is the default epoch data path; kLegacy
+// retains the original bitmap free-list allocator for byte-identity and
+// space-growth comparisons.
+enum class StoreLayout : uint8_t {
+  kLegacy = 0,
+  kSegmentLog = 1,
+};
+
 struct StoreOptions {
   uint32_t block_size = 64 * 1024;  // paper configures 64 KiB everywhere
+  StoreLayout layout = StoreLayout::kSegmentLog;
+  uint32_t segment_blocks = 64;  // store blocks per log segment
 };
 
 struct StoreStats {
@@ -55,6 +73,22 @@ struct StoreStats {
   uint64_t blocks_freed = 0;
   uint64_t commits = 0;
   uint64_t journal_appends = 0;
+};
+
+// Point-in-time view of the segment log (all zero under kLegacy).
+struct SegmentStats {
+  uint64_t segments_total = 0;
+  uint64_t segments_free = 0;
+  uint64_t segments_open = 0;
+  uint64_t segments_sealed = 0;
+  uint64_t segments_meta = 0;
+  uint64_t segments_journal = 0;
+  uint64_t segments_zombie = 0;
+  uint64_t live_blocks = 0;  // referenced blocks below segment cursors
+  uint64_t dead_blocks = 0;  // appended-then-killed blocks awaiting reclaim
+  uint64_t reloc_entries = 0;
+  // Sealed data segments bucketed by live/capacity decile ([0] = emptiest).
+  std::array<uint64_t, 10> util_histogram{};
 };
 
 class ObjectStore {
@@ -143,12 +177,21 @@ class ObjectStore {
 
   const StoreStats& stats() const { return stats_; }
   uint64_t FreeBlocks() const;
+  // Physically occupied store blocks: in the segment log this counts every
+  // block below a non-free segment's append cursor (dead-but-unreclaimed
+  // space included), which is what long-horizon space usage actually is.
+  // Under kLegacy it is total - FreeBlocks().
+  uint64_t UsedPhysicalBlocks() const;
+  SegmentStats GetSegmentStats() const;
+  StoreLayout layout() const { return options_.layout; }
+  uint32_t segment_blocks() const { return options_.segment_blocks; }
   uint32_t block_size() const { return options_.block_size; }
   BlockDevice* device() { return device_; }
   SimContext* sim() { return sim_; }
 
  private:
   friend class Scrubber;
+  friend class SegmentGc;
 
   struct Extent {
     uint64_t phys = 0;   // store-block number
@@ -170,7 +213,34 @@ class ObjectStore {
   struct DeadEntry {
     uint64_t birth = 0;
     uint64_t phys = 0;
+    uint32_t crc = 0;  // lets GC verify the block when relocating it
   };
+
+  // --- Segment log ----------------------------------------------------------
+  enum class SegState : uint8_t {
+    kFree = 0,     // no valid data, available to the allocator
+    kOpen = 1,     // a flush lane (or GC) is appending into it
+    kSealed = 2,   // full data segment; GC victim candidate
+    kMeta = 3,     // metadata blobs (+ the superblock ring in segment 0)
+    kJournal = 4,  // non-COW journal extents, updated in place
+    kZombie = 5,   // evacuated by GC; reclaimed after the next commit
+  };
+  struct Segment {
+    SegState state = SegState::kFree;
+    uint32_t lane = 0;    // owning flush lane while kOpen (kGcLane for GC)
+    uint64_t cursor = 0;  // blocks appended so far (next append offset)
+  };
+  // Relocation map entry: blocks that used to live at the key physical block
+  // were moved to `new_phys` during epoch `reloc_epoch`. Committed metadata
+  // blobs older than reloc_epoch still reference the old location, so
+  // historic reads translate through this map until those epochs are pruned.
+  struct RelocEntry {
+    uint64_t new_phys = 0;
+    uint64_t reloc_epoch = 0;
+  };
+  // Lane key for the compactor's destination segment; never collides with a
+  // real flush lane (those are < ncpus).
+  static constexpr uint32_t kGcLane = 0xFFFFFFFFu;
   struct CheckpointRecord {
     uint64_t epoch = 0;
     std::string name;
@@ -186,12 +256,44 @@ class ObjectStore {
     return store_block * DevBlocksPerStoreBlock();
   }
 
-  [[nodiscard]] Result<uint64_t> AllocBlock();
+  [[nodiscard]] Result<uint64_t> AllocBlock(uint32_t lane = 0);
   [[nodiscard]] Result<uint64_t> AllocContiguous(uint64_t nblocks);
   void FreeBlock(uint64_t block);
-  void KillBlock(uint64_t phys, uint64_t birth);
+  void KillBlock(uint64_t phys, uint64_t birth, uint32_t crc);
   bool BitGet(uint64_t block) const;
   void BitSet(uint64_t block, bool v);
+
+  // Segment-log internals (no-ops / errors under kLegacy).
+  uint64_t SegmentOf(uint64_t block) const { return block / options_.segment_blocks; }
+  uint64_t SegBase(uint64_t seg) const { return seg * options_.segment_blocks; }
+  uint64_t SegCapacity(uint64_t seg) const;
+  uint64_t SegLiveBlocks(uint64_t seg) const;
+  void InitSegments();
+  [[nodiscard]] Result<uint64_t> AllocSegment(SegState state, uint32_t lane);
+  // Append one block into the lane's open data segment, opening a new one
+  // when full. Used by AllocBlock (segment mode) and the compactor.
+  [[nodiscard]] Result<uint64_t> AppendBlock(uint32_t lane);
+  // Contiguous run for a metadata blob, appended into meta segments.
+  [[nodiscard]] Result<uint64_t> AllocMetaRun(uint64_t nblocks);
+  // Rollback for a failed commit: clears the run's bits and, when the run is
+  // the open meta segment's tail, rewinds its cursor.
+  void FreeMetaRun(uint64_t start, uint64_t nblocks);
+  // Whole-segment journal allocation (in-place extents stay out of GC's way).
+  [[nodiscard]] Result<uint64_t> AllocJournalRun(uint64_t nblocks);
+  void FreeJournalRun(uint64_t start, uint64_t nblocks);
+  // Reclaims a fully dead sealed/meta segment back to the free pool.
+  void MaybeReclaimSegment(uint64_t seg);
+  // Post-commit: zombie segments evacuated by GC become free once the commit
+  // that stopped referencing their old locations is durable.
+  void ReclaimZombies();
+  // Historic reads: translate a physical block recorded by a blob of
+  // `view_epoch` through the relocation map.
+  uint64_t TranslatePhys(uint64_t phys, uint64_t view_epoch) const;
+  // Reads one store block and checks it against the recorded CRC32C; shared
+  // by the read paths, the Scrubber and the compactor (kIoError on device
+  // failure, kCorrupt on checksum mismatch).
+  [[nodiscard]] Status ReadBlockVerified(uint64_t phys, uint32_t crc, uint8_t* buf);
+  void PublishSegmentGauges();
 
   // All device IO funnels through these wrappers so transient faults are
   // retried with the shared bounded policy; hard errors (kCorrupt, bounds)
@@ -228,9 +330,15 @@ class ObjectStore {
   std::map<uint64_t, std::vector<DeadEntry>> deadlists_;  // sealed per epoch
   std::vector<CheckpointRecord> checkpoints_;
 
-  std::vector<uint8_t> bitmap_;  // one bit per store block
+  std::vector<uint8_t> bitmap_;  // one bit per store block (live/referenced)
   uint64_t total_blocks_ = 0;
   uint64_t alloc_cursor_ = 1;
+
+  // Segment-log state (empty under kLegacy).
+  std::vector<Segment> segments_;
+  std::map<uint32_t, uint64_t> open_data_seg_;  // lane -> open segment
+  uint64_t open_meta_seg_ = 0;
+  std::map<uint64_t, RelocEntry> reloc_;  // old phys -> current location
 
   // Completion time of the latest data write in the current epoch; commits
   // must not declare durability before it.

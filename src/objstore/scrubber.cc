@@ -41,23 +41,26 @@ ScrubEpochVerdict Scrubber::ScrubRecord(uint64_t epoch, const std::string& name,
     }
     for (const auto& [logical, extent] : info.extents) {
       verdict.blocks_scanned++;
+      // Blocks the compactor moved after this epoch committed live at their
+      // relocated address now; the LIVE store's relocation map knows, the
+      // historic blob does not.
+      uint64_t phys = s->TranslatePhys(extent.phys, epoch);
       if (report != nullptr) {
-        report->data_phys.insert(extent.phys);
+        report->data_phys.insert(phys);
       }
-      Status read =
-          s->DevReadSync(s->DevLba(extent.phys), buf.data(), s->DevBlocksPerStoreBlock());
+      Status read = s->ReadBlockVerified(phys, extent.crc, buf.data());
       Errc error;
-      if (!read.ok()) {
-        verdict.io_errors++;
-        error = Errc::kIoError;
-      } else if (Crc32c(buf.data(), bs) != extent.crc) {
+      if (!read.ok() && read.code() == Errc::kCorrupt) {
         verdict.crc_errors++;
         error = Errc::kCorrupt;
+      } else if (!read.ok()) {
+        verdict.io_errors++;
+        error = Errc::kIoError;
       } else {
         continue;
       }
       if (report != nullptr) {
-        report->bad_blocks.push_back(ScrubBadBlock{epoch, oid, logical, extent.phys, error});
+        report->bad_blocks.push_back(ScrubBadBlock{epoch, oid, logical, phys, error});
       }
     }
   }

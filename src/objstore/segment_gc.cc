@@ -1,0 +1,224 @@
+#include "src/objstore/segment_gc.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace aurora {
+
+namespace {
+
+// One live block inside a victim segment: where the current in-memory state
+// records its location (an extent of the live table or a deadlist entry),
+// plus what we need to verify and translate it.
+struct LiveRef {
+  uint64_t* phys_slot = nullptr;
+  uint64_t birth = 0;
+  uint32_t crc = 0;
+};
+
+}  // namespace
+
+bool SegmentGc::TakeTokens(uint64_t bytes) {
+  if (config_.bytes_per_sec == 0) {
+    return true;
+  }
+  SimTime now = store_->sim_->clock.now();
+  if (!bucket_primed_) {
+    // First use: start with a full burst rather than an empty bucket.
+    tokens_ = config_.burst_bytes;
+    bucket_primed_ = true;
+  } else if (now > last_refill_) {
+    // 128-bit-free refill: split the elapsed time into whole seconds and a
+    // remainder so the product cannot overflow at realistic rates.
+    SimDuration elapsed = now - last_refill_;
+    uint64_t refill = (elapsed / kSecond) * config_.bytes_per_sec +
+                      (elapsed % kSecond) * config_.bytes_per_sec / kSecond;
+    tokens_ = std::min(config_.burst_bytes, tokens_ + refill);
+  }
+  last_refill_ = now;
+  if (tokens_ < bytes) {
+    store_->sim_->metrics.counter("gc.throttle_defers").Add();
+    return false;
+  }
+  tokens_ -= bytes;
+  return true;
+}
+
+Result<GcRunReport> SegmentGc::Run() {
+  GcRunReport report;
+  ObjectStore* s = store_;
+  if (s->options_.layout != StoreLayout::kSegmentLog || s->segments_.empty()) {
+    return report;
+  }
+  MetricsRegistry& metrics = s->sim_->metrics;
+  metrics.counter("gc.runs").Add();
+  ScopedSpan span(&s->sim_->tracer, "gc");
+
+  const uint64_t bs = s->options_.block_size;
+
+  // --- Victim selection ------------------------------------------------------
+  // Sealed data segments under the utilization threshold. Segments holding a
+  // live relocation-map KEY are excluded: evacuating one would need a second
+  // entry under the same old address (the address was reused after an earlier
+  // relocation expired its segment), which the single-hop map cannot express.
+  std::vector<std::pair<uint64_t, uint64_t>> victims;  // (live, seg)
+  for (uint64_t seg = 0; seg < s->segments_.size(); seg++) {
+    const ObjectStore::Segment& info = s->segments_[seg];
+    if (info.state != ObjectStore::SegState::kSealed || info.cursor == 0) {
+      continue;
+    }
+    report.segments_examined++;
+    if (quarantined_.count(seg) > 0) {
+      continue;
+    }
+    uint64_t live = s->SegLiveBlocks(seg);
+    if (live == 0) {
+      // Fully dead already (every block freed while it was open): reclaim
+      // directly, no relocation needed.
+      s->MaybeReclaimSegment(seg);
+      continue;
+    }
+    if (static_cast<double>(live) >= config_.utilization_threshold *
+                                         static_cast<double>(info.cursor)) {
+      continue;
+    }
+    uint64_t base = s->SegBase(seg);
+    auto key = s->reloc_.lower_bound(base);
+    if (key != s->reloc_.end() && key->first < base + s->SegCapacity(seg)) {
+      continue;
+    }
+    victims.emplace_back(live, seg);
+  }
+  std::sort(victims.begin(), victims.end());
+  if (config_.max_segments_per_run > 0 && victims.size() > config_.max_segments_per_run) {
+    victims.resize(config_.max_segments_per_run);
+  }
+  if (victims.empty()) {
+    return report;
+  }
+
+  // --- Reference collection --------------------------------------------------
+  // One walk over the live table and the deadlists finds every pointer into a
+  // victim. Deadlist entries are live too: old checkpoints still read them.
+  std::map<uint64_t, std::vector<LiveRef>> refs;  // seg -> live blocks
+  for (const auto& [live, seg] : victims) {
+    refs[seg];  // materialize in victim order
+  }
+  auto in_victims = [&](uint64_t phys) -> std::map<uint64_t, std::vector<LiveRef>>::iterator {
+    auto it = refs.find(s->SegmentOf(phys));
+    return it;
+  };
+  for (auto& [oid, info] : s->objects_) {
+    if (info.non_cow) {
+      continue;  // journal extents live in kJournal segments, never victims
+    }
+    for (auto& [logical, extent] : info.extents) {
+      auto it = in_victims(extent.phys);
+      if (it != refs.end()) {
+        it->second.push_back(LiveRef{&extent.phys, extent.birth, extent.crc});
+      }
+    }
+  }
+  for (auto& [kill_epoch, entries] : s->deadlists_) {
+    for (ObjectStore::DeadEntry& e : entries) {
+      auto it = in_victims(e.phys);
+      if (it != refs.end()) {
+        it->second.push_back(LiveRef{&e.phys, e.birth, e.crc});
+      }
+    }
+  }
+
+  // --- Evacuation -------------------------------------------------------------
+  std::vector<uint8_t> buf(bs);
+  for (auto& [seg, seg_refs] : refs) {
+    // Deterministic relocation order regardless of hash-map walk order.
+    std::sort(seg_refs.begin(), seg_refs.end(),
+              [](const LiveRef& a, const LiveRef& b) { return *a.phys_slot < *b.phys_slot; });
+    bool evacuated = true;
+    std::map<uint64_t, uint64_t> moved;  // old phys -> new phys (this victim)
+    for (const LiveRef& ref : seg_refs) {
+      if (!TakeTokens(2 * bs)) {  // one read + one write per block
+        report.throttled = true;
+        evacuated = false;
+        break;
+      }
+      uint64_t old_phys = *ref.phys_slot;
+      Status read = s->ReadBlockVerified(old_phys, ref.crc, buf.data());
+      if (!read.ok()) {
+        // Damaged block: leave it where the Scrubber (and the bad-block
+        // report) can find it, and never retry this segment.
+        if (read.code() == Errc::kCorrupt) {
+          report.crc_errors++;
+          metrics.counter("gc.crc_errors").Add();
+        } else {
+          report.io_errors++;
+          metrics.counter("gc.io_errors").Add();
+        }
+        quarantined_.insert(seg);
+        evacuated = false;
+        break;
+      }
+      auto appended = s->AppendBlock(ObjectStore::kGcLane);
+      if (!appended.ok()) {
+        // Store full: stop compacting, state is consistent (pointer untouched).
+        evacuated = false;
+        break;
+      }
+      uint64_t new_phys = *appended;
+      auto wrote = s->DevWrite(0, s->DevLba(new_phys), buf.data(),
+                               s->DevBlocksPerStoreBlock());
+      if (!wrote.ok()) {
+        // Undo the append's liveness; the gap stays dead until reclaim.
+        s->BitSet(new_phys, false);
+        evacuated = false;
+        break;
+      }
+      // The commit that publishes the rewritten pointer must not declare
+      // durability before the relocated data is on media.
+      s->last_data_write_done_ = std::max(s->last_data_write_done_, *wrote);
+      *ref.phys_slot = new_phys;
+      s->BitSet(old_phys, false);
+      if (ref.birth < s->epoch_) {
+        // Some committed blob references the old address; translate until
+        // every such epoch is pruned. Blocks born in the current epoch have
+        // no committed referencer and need no entry.
+        s->reloc_[old_phys] = ObjectStore::RelocEntry{new_phys, s->epoch_};
+      }
+      moved[old_phys] = new_phys;
+      report.blocks_relocated++;
+      report.bytes_relocated += bs;
+    }
+    if (!moved.empty()) {
+      // Chain collapse: entries pointing AT a block this victim just moved
+      // are rewritten to the fresh location, keeping their original epoch
+      // stamp, so every map value is always the block's current address
+      // (translation stays single-hop).
+      for (auto& [old_phys, entry] : s->reloc_) {
+        auto m = moved.find(entry.new_phys);
+        if (m != moved.end()) {
+          entry.new_phys = m->second;
+        }
+      }
+    }
+    if (evacuated) {
+      // Fully drained: park as a zombie until the next commit persists the
+      // rewritten table; ReclaimZombies then returns it to the free pool.
+      s->segments_[seg].state = ObjectStore::SegState::kZombie;
+      report.segments_compacted++;
+      metrics.counter("gc.segments_compacted").Add();
+    }
+    if (report.throttled) {
+      break;
+    }
+  }
+
+  metrics.counter("gc.blocks_relocated").Add(report.blocks_relocated);
+  metrics.counter("gc.bytes_relocated").Add(report.bytes_relocated);
+  s->PublishSegmentGauges();
+  return report;
+}
+
+}  // namespace aurora

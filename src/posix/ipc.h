@@ -45,8 +45,13 @@ class Kqueue : public FileObject {
  public:
   FileType type() const override { return FileType::kKqueue; }
 
-  void Register(const KEvent& ev) { events_.push_back(ev); }
+  void Register(const KEvent& ev) {
+    events_.push_back(ev);
+    Touch();  // invalidate the cached serialization (registration set changed)
+  }
   const std::vector<KEvent>& events() const { return events_; }
+  // Mutable access for restore/teardown; callers that change the set must
+  // Touch() — prefer Register() for additions.
   std::vector<KEvent>& events() { return events_; }
 
  private:
@@ -69,6 +74,35 @@ class Pseudoterminal : public FileObject {
   uint64_t session_sid = 0;  // controlling session
   std::deque<uint8_t> input;   // keyboard -> slave
   std::deque<uint8_t> output;  // slave -> display
+
+  // Mutation helpers (ioctl analogues). They bump the serialization-cache
+  // generation; mutate through these, not the fields, on live objects.
+  void SetTermios(uint32_t iflag, uint32_t oflag, uint32_t cflag, uint32_t lflag) {
+    termios_iflag = iflag;
+    termios_oflag = oflag;
+    termios_cflag = cflag;
+    termios_lflag = lflag;
+    Touch();
+  }
+  void SetWinsize(uint16_t rows, uint16_t cols) {  // TIOCSWINSZ
+    ws_rows = rows;
+    ws_cols = cols;
+    Touch();
+  }
+  void SetSession(uint64_t sid) {  // TIOCSCTTY
+    session_sid = sid;
+    Touch();
+  }
+  void WriteInput(const void* data, uint64_t len) {  // keyboard -> slave
+    const auto* p = static_cast<const uint8_t*>(data);
+    input.insert(input.end(), p, p + len);
+    Touch();
+  }
+  void WriteOutput(const void* data, uint64_t len) {  // slave -> display
+    const auto* p = static_cast<const uint8_t*>(data);
+    output.insert(output.end(), p, p + len);
+    Touch();
+  }
 };
 
 // POSIX (shm_open) or System V (shmget) shared memory. The descriptor holds

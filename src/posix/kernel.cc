@@ -390,7 +390,7 @@ Result<std::pair<int, int>> Kernel::MakePty(Process& proc) {
   CountSyscall("posix_openpt");
   auto pty = std::make_shared<Pseudoterminal>();
   pty->index = next_pty_index_++;
-  pty->session_sid = proc.sid;
+  pty->SetSession(proc.sid);
   auto master = std::make_shared<FileDescription>();
   master->object = pty;
   master->open_flags = kOpenRead | kOpenWrite;

@@ -10,6 +10,7 @@ Status Socket::Bind(const SockAddr& addr) {
   }
   local = addr;
   state = SocketState::kBound;
+  Touch();
   return Status::Ok();
 }
 
@@ -22,6 +23,7 @@ Status Socket::Listen(int backlog_hint) {
   }
   backlog = backlog_hint;
   state = SocketState::kListening;
+  Touch();
   return Status::Ok();
 }
 
@@ -48,7 +50,9 @@ Result<std::shared_ptr<Socket>> Socket::ConnectTo(const std::shared_ptr<Socket>&
   snd_seq = 1;
   rcv_seq = 1;
 
+  Touch();
   listener->accept_queue.push_back(server_end);
+  listener->Touch();
   return server_end;
 }
 
@@ -61,6 +65,7 @@ Result<std::shared_ptr<Socket>> Socket::Accept() {
   }
   auto sock = accept_queue.front();
   accept_queue.pop_front();
+  Touch();
   return sock;
 }
 
@@ -70,14 +75,17 @@ Status Socket::DeliverTo(Socket& dst, SockSegment segment) {
   }
   dst.recv_bytes += segment.data.size();
   dst.recv_buf.push_back(std::move(segment));
+  dst.Touch();
   return Status::Ok();
 }
 
 void Socket::Shutdown() {
   if (auto dst = peer.lock()) {
     dst->peer_shutdown = true;
+    dst->Touch();
   }
   state = SocketState::kClosed;
+  Touch();
 }
 
 Result<uint64_t> Socket::Send(const void* data, uint64_t len,
@@ -101,6 +109,7 @@ Result<uint64_t> Socket::Send(const void* data, uint64_t len,
   if (proto_ == SocketProto::kTcp) {
     snd_seq += static_cast<uint32_t>(len);
     dst->rcv_seq += static_cast<uint32_t>(len);
+    Touch();
   }
   return len;
 }
@@ -117,6 +126,7 @@ Result<SockSegment> Socket::Recv(uint64_t max_len) {
     SockSegment segment = std::move(front);
     recv_buf.pop_front();
     recv_bytes -= segment.data.size();
+    Touch();
     return segment;
   }
   // Stream semantics: split the segment.
@@ -125,6 +135,7 @@ Result<SockSegment> Socket::Recv(uint64_t max_len) {
   partial.from = front.from;
   front.data.erase(front.data.begin(), front.data.begin() + static_cast<long>(max_len));
   recv_bytes -= max_len;
+  Touch();
   return partial;
 }
 

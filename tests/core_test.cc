@@ -109,7 +109,7 @@ TEST(SlsCheckpoint, SurvivesRebootWithFullOsState) {
 
   auto [master_fd, slave_fd] = *m.kernel->MakePty(*proc);
   auto* pty = static_cast<Pseudoterminal*>((*proc->fds().Get(master_fd))->object.get());
-  pty->ws_cols = 132;
+  pty->SetWinsize(24, 132);
 
   int shm_fd = *m.kernel->ShmOpen(*proc, "/cache", 128 * kKiB);
   uint64_t shm_addr = *m.kernel->ShmMap(*proc, shm_fd);

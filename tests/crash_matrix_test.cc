@@ -14,6 +14,7 @@
 
 #include "src/base/sim_context.h"
 #include "src/objstore/object_store.h"
+#include "src/objstore/segment_gc.h"
 #include "src/storage/block_device.h"
 
 namespace aurora {
@@ -191,6 +192,110 @@ TEST(CrashMatrix, EveryCrashPointRecoversSmallBlockGeometry) {
   // Store blocks (8 KiB) smaller than the kSuperSlots-device-block
   // superblock ring: regression for the ring reservation fix.
   SweepCrashMatrix(8 * 1024);
+}
+
+// Crash-during-compaction sweep: a workload that ends with a retention prune,
+// a full GC pass (every sealed segment evacuated) and a sealing commit, with
+// the power-loss fuse swept over EVERY device write — including each
+// compaction copy. Recovery must always land on an exact committed image:
+// before the post-GC commit that means the pre-GC block locations (zombies
+// are still intact), after it the relocated ones.
+TEST(CrashMatrix, EveryCrashPointDuringCompactionRecoversExactImage) {
+  const uint32_t bs = 8 * 1024;
+  const uint64_t device_blocks = (64 * kMiB) / kPageSize;
+  const std::vector<uint8_t> a = Pattern(4 * bs, 1);     // obj1 at c1
+  const std::vector<uint8_t> head = Pattern(2 * bs, 2);  // c2 overwrites blocks 0-1
+  const std::vector<uint8_t> b = Pattern(4 * bs, 3);     // obj2, deleted at c2
+  // obj1 from c2 on: rewritten head, surviving tail. The tail blocks stay
+  // live inside an otherwise-dead sealed segment — exactly what GC relocates.
+  std::vector<uint8_t> a2 = head;
+  a2.insert(a2.end(), a.begin() + 2 * bs, a.end());
+
+  struct Ids {
+    Oid obj1 = kInvalidOid;
+    Oid obj2 = kInvalidOid;
+  };
+  auto run = [&](MemBlockDevice* device, SimContext* sim) {
+    StoreOptions options;
+    options.block_size = bs;
+    options.layout = StoreLayout::kSegmentLog;
+    options.segment_blocks = 8;
+    auto store = *ObjectStore::Format(device, sim, options);
+
+    Ids ids;
+    ids.obj1 = *store->CreateObject(ObjType::kMemory);
+    EXPECT_TRUE(store->WriteAt(ids.obj1, 0, a.data(), a.size()).ok());
+    ids.obj2 = *store->CreateObject(ObjType::kMemory);
+    EXPECT_TRUE(store->WriteAt(ids.obj2, 0, b.data(), b.size()).ok());
+    (void)store->CommitCheckpoint("c1");
+
+    EXPECT_TRUE(store->WriteAt(ids.obj1, 0, head.data(), head.size()).ok());
+    (void)store->DeleteObject(ids.obj2);
+    (void)store->CommitCheckpoint("c2");
+
+    // Retention prune: drop c1 and free its deadlists, leaving the sealed
+    // segments partially dead; then compact everything that still lives.
+    uint64_t c2_epoch = store->ListCheckpoints().back().epoch;
+    (void)store->DeleteCheckpointsBefore(c2_epoch);
+    GcConfig config;
+    config.utilization_threshold = 1.1;  // every sealed segment is a victim
+    SegmentGc gc(store.get(), config);
+    auto report = gc.Run();
+    EXPECT_TRUE(report.ok());
+    (void)store->CommitCheckpoint("c3");
+    return ids;
+  };
+
+  // Reference run: the compactor must actually move blocks or the sweep
+  // proves nothing.
+  uint64_t total_writes = 0;
+  {
+    SimContext sim;
+    MemBlockDevice device(&sim.clock, device_blocks);
+    run(&device, &sim);
+    total_writes = device.stats().writes;
+    EXPECT_GE(sim.metrics.counter("gc.blocks_relocated").value(), 2u)
+        << "workload produced no relocations; the crash sweep has no teeth";
+  }
+
+  for (uint64_t n = 0; n <= total_writes; n++) {
+    SCOPED_TRACE(testing::Message() << "crash at write " << n << " of " << total_writes);
+    SimContext sim;
+    MemBlockDevice device(&sim.clock, device_blocks);
+    device.CrashAfterWrites(n);
+    Ids ids = run(&device, &sim);
+    device.DisarmCrash();
+
+    auto reopened = ObjectStore::Open(&device, &sim);
+    if (!reopened.ok()) {
+      // Sound only while the very first commit was still in flight.
+      EXPECT_LT(n, total_writes) << "clean run failed to mount";
+      continue;
+    }
+    ObjectStore* store = reopened->get();
+    bool has_c1 = false;
+    bool has_c2 = false;
+    bool has_c3 = false;
+    for (const CheckpointInfo& ckpt : store->ListCheckpoints()) {
+      has_c1 |= ckpt.name == "c1";
+      has_c2 |= ckpt.name == "c2";
+      has_c3 |= ckpt.name == "c3";
+    }
+    if (n >= total_writes) {
+      EXPECT_TRUE(has_c3) << "clean run must recover the post-GC checkpoint";
+    }
+    if (has_c2 || has_c3) {
+      // From c2 on — crucially, from every fuse point inside the GC pass —
+      // obj1 must read back byte-identical and obj2 must stay deleted.
+      ExpectContents(store, ids.obj1, a2);
+      std::vector<uint8_t> buf(16);
+      EXPECT_FALSE(store->ReadAt(ids.obj2, 0, buf.data(), buf.size()).ok())
+          << "deleted object resurfaced after crash at write " << n;
+    } else if (has_c1) {
+      ExpectContents(store, ids.obj1, a);
+      ExpectContents(store, ids.obj2, b);
+    }
+  }
 }
 
 TEST(CrashMatrix, SuperblockRingCyclingDoesNotTrampleData) {

@@ -141,10 +141,11 @@ TEST(FaultMatrix, LatentSectorReadsFailTyped) {
   ASSERT_TRUE(w.Run(store.get()).ok());
 
   // Rot every device block past the superblock ring: all committed data is
-  // now sticky-unreadable, and retries must never mask it.
+  // now sticky-unreadable, and retries must never mask it. (The whole device
+  // is rotted so the test holds for any layout's physical placement.)
   uint32_t dps = store->block_size() / device.block_size();
   device.InstallFaults(0xDEAD, {});
-  for (uint64_t lba = dps; lba < 64 * dps; lba++) {
+  for (uint64_t lba = dps; lba < device.block_count(); lba++) {
     device.fault_injector()->AddLatentSector(lba);
   }
   std::vector<uint8_t> back(store->block_size());

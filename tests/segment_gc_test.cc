@@ -1,0 +1,389 @@
+// Segment-log GC: online compaction reclaims dead space without ever
+// changing what any retained epoch reads back, scrub and GC agree on block
+// integrity, pacing bounds GC I/O, and the Sls-level retention policy drives
+// the whole loop (DESIGN.md section 16).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/sim_context.h"
+#include "src/core/cli.h"
+#include "src/core/sls.h"
+#include "src/fs/aurora_fs.h"
+#include "src/objstore/object_store.h"
+#include "src/objstore/scrubber.h"
+#include "src/objstore/segment_gc.h"
+#include "src/storage/block_device.h"
+
+namespace aurora {
+namespace {
+
+constexpr uint32_t kBlock = 8 * 1024;
+constexpr uint64_t kDeviceBlocks = (64 * kMiB) / kPageSize;
+
+std::vector<uint8_t> Pattern(size_t len, uint8_t seed) {
+  std::vector<uint8_t> out(len);
+  for (size_t i = 0; i < len; i++) {
+    out[i] = static_cast<uint8_t>(seed + i * 31);
+  }
+  return out;
+}
+
+StoreOptions SmallSegments(StoreLayout layout = StoreLayout::kSegmentLog) {
+  StoreOptions options;
+  options.block_size = kBlock;
+  options.layout = layout;
+  options.segment_blocks = 8;
+  return options;
+}
+
+// Overwrite-heavy churn: each round rewrites the same logical blocks of one
+// object, commits, and prunes history down to `keep` epochs. With the
+// compactor running, space must stay flat; without it, sealed segments pile
+// up dead.
+struct Churn {
+  SimContext sim;
+  MemBlockDevice device{&sim.clock, kDeviceBlocks};
+  std::unique_ptr<ObjectStore> store;
+  Oid oid = kInvalidOid;
+
+  explicit Churn(StoreOptions options) {
+    store = *ObjectStore::Format(&device, &sim, options);
+    oid = *store->CreateObject(ObjType::kMemory);
+  }
+
+  // Hot/cold churn. Each round rewrites every hot block plus ONE cold block,
+  // so each appended segment holds mostly soon-dead hot copies around a
+  // long-lived cold copy. Fully-dead segments are reclaimed inline by the
+  // store; these mixed ones pin a segment with a few live blocks — exactly
+  // the space only relocation can recover.
+  static constexpr uint64_t kColdBlocks = 24;
+  static constexpr uint64_t kHotBlocks = 7;
+
+  void Round(int round, uint64_t keep) {
+    auto put = [&](uint64_t block) {
+      std::vector<uint8_t> data =
+          Pattern(kBlock, static_cast<uint8_t>(round * 37 + static_cast<int>(block)));
+      ASSERT_TRUE(store->WriteAt(oid, block * kBlock, data.data(), data.size()).ok());
+    };
+    for (uint64_t h = 0; h < kHotBlocks; h++) {
+      put(kColdBlocks + h);
+    }
+    put(static_cast<uint64_t>(round) % kColdBlocks);
+    ASSERT_TRUE(store->CommitCheckpoint("r" + std::to_string(round)).ok());
+    std::vector<CheckpointInfo> ckpts = store->ListCheckpoints();
+    if (ckpts.size() > keep) {
+      ASSERT_TRUE(store->DeleteCheckpointsBefore(ckpts[ckpts.size() - keep].epoch).ok());
+    }
+  }
+};
+
+TEST(SegmentGc, CompactionKeepsChurnSpaceFlat) {
+  Churn with_gc(SmallSegments());
+  SegmentGc gc(with_gc.store.get());
+  uint64_t used_mid = 0;
+  const int kRounds = 60;
+  for (int r = 1; r <= kRounds; r++) {
+    with_gc.Round(r, 2);
+    auto report = gc.Run();
+    ASSERT_TRUE(report.ok());
+    if (r == kRounds / 2) {
+      used_mid = with_gc.store->UsedPhysicalBlocks();
+    }
+  }
+  uint64_t used_end = with_gc.store->UsedPhysicalBlocks();
+  EXPECT_LE(used_end, used_mid + used_mid / 10)
+      << "segment log grew past steady state despite GC";
+  EXPECT_GT(with_gc.sim.metrics.counter("gc.segments_reclaimed").value(), 0u);
+  EXPECT_GT(with_gc.sim.metrics.counter("gc.blocks_relocated").value(), 0u);
+
+  // The identical churn without a compactor leaks dead sealed segments.
+  Churn no_gc(SmallSegments());
+  for (int r = 1; r <= kRounds; r++) {
+    no_gc.Round(r, 2);
+  }
+  EXPECT_GT(no_gc.store->UsedPhysicalBlocks(), used_end + used_end / 2)
+      << "the no-GC baseline should accumulate dead space the compactor frees";
+}
+
+TEST(SegmentGc, RelocationPreservesEveryRetainedEpoch) {
+  SimContext sim;
+  MemBlockDevice device(&sim.clock, kDeviceBlocks);
+  auto store = *ObjectStore::Format(&device, &sim, SmallSegments());
+
+  Oid oid = *store->CreateObject(ObjType::kMemory);
+  std::map<uint64_t, std::vector<uint8_t>> images;  // epoch -> full contents
+  std::vector<uint8_t> contents = Pattern(6 * kBlock, 1);
+  ASSERT_TRUE(store->WriteAt(oid, 0, contents.data(), contents.size()).ok());
+  for (int round = 0; round < 5; round++) {
+    uint64_t epoch = store->current_epoch();
+    ASSERT_TRUE(store->CommitCheckpoint("e" + std::to_string(epoch)).ok());
+    images[epoch] = contents;
+    // Rewrite two blocks per round; the rest stay live at their old homes.
+    std::vector<uint8_t> delta = Pattern(2 * kBlock, static_cast<uint8_t>(40 + round));
+    uint64_t off = (static_cast<uint64_t>(round) % 3) * 2 * kBlock;
+    std::copy(delta.begin(), delta.end(), contents.begin() + static_cast<long>(off));
+    ASSERT_TRUE(store->WriteAt(oid, off, delta.data(), delta.size()).ok());
+  }
+  ASSERT_TRUE(store->CommitCheckpoint("last").ok());
+  images[store->current_epoch() - 1] = contents;
+
+  // Prune to the newest three epochs, compact aggressively, seal the result.
+  std::vector<CheckpointInfo> ckpts = store->ListCheckpoints();
+  ASSERT_TRUE(store->DeleteCheckpointsBefore(ckpts[ckpts.size() - 3].epoch).ok());
+  GcConfig config;
+  config.utilization_threshold = 1.1;
+  SegmentGc gc(store.get(), config);
+  auto report = gc.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->blocks_relocated, 0u);
+  ASSERT_TRUE(store->CommitCheckpoint("sealed").ok());
+
+  auto verify = [&](ObjectStore* s) {
+    for (const CheckpointInfo& ckpt : s->ListCheckpoints()) {
+      auto want = images.find(ckpt.epoch);
+      if (want == images.end()) {
+        continue;  // the post-GC "sealed" epoch duplicates `contents`
+      }
+      std::vector<uint8_t> back(want->second.size());
+      ASSERT_TRUE(s->ReadAtEpoch(ckpt.epoch, oid, 0, back.data(), back.size()).ok());
+      EXPECT_EQ(back, want->second)
+          << "epoch " << ckpt.epoch << " changed after compaction";
+    }
+  };
+  verify(store.get());
+
+  // The relocation map must survive a reboot: historic epochs still
+  // translate to the moved blocks after mount.
+  auto reopened = ObjectStore::Open(&device, &sim);
+  ASSERT_TRUE(reopened.ok());
+  verify(reopened->get());
+}
+
+TEST(SegmentGc, GcAndScrubInterleaveWithZeroFalsePositives) {
+  Churn churn(SmallSegments());
+  GcConfig config;
+  config.utilization_threshold = 0.8;
+  SegmentGc gc(churn.store.get(), config);
+  uint64_t relocated = 0;
+  for (int r = 1; r <= 12; r++) {
+    churn.Round(r, 2);
+    auto report = gc.Run();
+    ASSERT_TRUE(report.ok());
+    relocated += report->blocks_relocated;
+    EXPECT_EQ(report->crc_errors, 0u);
+    // Immediately after each compaction pass, a full scrub of every retained
+    // epoch must verify clean: relocated blocks carried their CRCs, historic
+    // epochs translate to the new locations, and nothing reads torn.
+    Scrubber scrubber(churn.store.get());
+    auto scrub = scrubber.ScrubAll();
+    ASSERT_TRUE(scrub.ok());
+    EXPECT_TRUE(scrub->clean()) << "scrub false positive after GC round " << r;
+    EXPECT_TRUE(scrub->bad_blocks.empty());
+  }
+  EXPECT_GT(relocated, 0u) << "interleave test never exercised relocation";
+}
+
+TEST(SegmentGc, CorruptBlockIsQuarantinedAndLeftForScrub) {
+  SimContext sim;
+  MemBlockDevice device(&sim.clock, kDeviceBlocks);
+  auto store = *ObjectStore::Format(&device, &sim, SmallSegments());
+
+  // Fill several segments so the earliest data phys is in a sealed one.
+  Oid oid = *store->CreateObject(ObjType::kMemory);
+  std::vector<uint8_t> data = Pattern(24 * kBlock, 5);
+  ASSERT_TRUE(store->WriteAt(oid, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(store->CommitCheckpoint("c1").ok());
+
+  // Find a committed data block via the scrubber's coverage set (no layout
+  // assumptions) and silently rot its media bytes.
+  Scrubber scrubber(store.get());
+  auto before = scrubber.ScrubAll();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->clean());
+  ASSERT_FALSE(before->data_phys.empty());
+  uint64_t victim_phys = *before->data_phys.begin();
+  uint32_t dps = kBlock / device.block_size();
+  std::vector<uint8_t> garbage(kBlock, 0xEE);
+  ASSERT_TRUE(device.WriteAsync(victim_phys * dps, garbage.data(), dps).ok());
+
+  GcConfig config;
+  config.utilization_threshold = 1.1;  // every sealed segment is a victim
+  SegmentGc gc(store.get(), config);
+  auto report = gc.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->crc_errors, 1u) << "GC read the rotten block without noticing";
+  EXPECT_GE(gc.quarantined_segments(), 1u);
+
+  // The damaged block stayed put for the scrubber, which pins it precisely.
+  auto after = scrubber.ScrubAll();
+  ASSERT_TRUE(after.ok());
+  bool found = false;
+  for (const ScrubBadBlock& bad : after->bad_blocks) {
+    EXPECT_EQ(bad.error, Errc::kCorrupt);
+    found |= bad.phys == victim_phys;
+  }
+  EXPECT_TRUE(found) << "scrub lost track of the corrupt block after the GC pass";
+
+  // A second pass skips the quarantined segment instead of re-reading it.
+  auto again = gc.Run();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->crc_errors, 0u);
+}
+
+TEST(SegmentGc, TokenBucketPacesRelocationIo) {
+  Churn churn(SmallSegments());
+  for (int r = 1; r <= 8; r++) {
+    churn.Round(r, 2);
+  }
+  GcConfig config;
+  config.utilization_threshold = 1.1;
+  config.bytes_per_sec = 1;  // starvation rate: only the initial burst moves
+  config.burst_bytes = 2 * kBlock;  // one read+write pair
+  SegmentGc gc(churn.store.get(), config);
+  auto report = gc.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->throttled);
+  EXPECT_LE(report->blocks_relocated, 1u);
+  EXPECT_GE(churn.sim.metrics.counter("gc.throttle_defers").value(), 1u);
+
+  // Unthrottled, the deferred work completes.
+  config.bytes_per_sec = 0;
+  gc.set_config(config);
+  auto rest = gc.Run();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_GT(rest->blocks_relocated, 0u);
+  EXPECT_FALSE(rest->throttled);
+}
+
+TEST(SegmentGc, LegacyLayoutIsANoop) {
+  SimContext sim;
+  MemBlockDevice device(&sim.clock, kDeviceBlocks);
+  auto store = *ObjectStore::Format(&device, &sim, SmallSegments(StoreLayout::kLegacy));
+  Oid oid = *store->CreateObject(ObjType::kMemory);
+  std::vector<uint8_t> data = Pattern(8 * kBlock, 1);
+  ASSERT_TRUE(store->WriteAt(oid, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(store->CommitCheckpoint("c1").ok());
+
+  SegmentGc gc(store.get());
+  auto report = gc.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->segments_examined, 0u);
+  EXPECT_EQ(report->blocks_relocated, 0u);
+  SegmentStats stats = store->GetSegmentStats();
+  EXPECT_EQ(stats.segments_total, 0u);
+}
+
+// --- Sls-level retention + auto-GC ------------------------------------------
+
+struct Machine {
+  explicit Machine(StoreOptions options = StoreOptions()) {
+    device = MakePaperTestbedStore(&sim.clock, 1 * kGiB);
+    store = *ObjectStore::Format(device.get(), &sim, options);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  void Reboot() {
+    store = *ObjectStore::Open(device.get(), &sim);
+    fs = std::make_unique<AuroraFs>(&sim, store.get());
+    kernel = std::make_unique<Kernel>(&sim);
+    sls = std::make_unique<Sls>(&sim, kernel.get(), store.get(), fs.get());
+  }
+
+  SimContext sim;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<AuroraFs> fs;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Sls> sls;
+};
+
+// Runs `epochs` checkpoints of a deterministic dirty-page workload and
+// returns the final heap bytes (read back after reboot + restore).
+std::vector<uint8_t> RunRetainedWorkload(Machine& m, bool retention, int epochs,
+                                         uint64_t mem_bytes = 2 * kMiB) {
+  Process* proc = *m.kernel->CreateProcess("app");
+  auto obj = VmObject::CreateAnonymous(mem_bytes);
+  uint64_t addr = *proc->vm().Map(0x400000, mem_bytes, kProtRead | kProtWrite, obj, 0, false);
+  ConsistencyGroup* group = *m.sls->CreateGroup("app");
+  EXPECT_TRUE(m.sls->Attach(group, proc).ok());
+  if (retention) {
+    m.sls->SetRetentionPolicy(group, RetentionPolicy{.keep_epochs = 3});
+  }
+
+  Rng rng(0x6C06);
+  for (int e = 0; e < epochs; e++) {
+    for (int w = 0; w < 150; w++) {
+      uint64_t v = rng.Next();
+      EXPECT_TRUE(proc->vm().Write(addr + rng.Below(mem_bytes - 8), &v, sizeof(v)).ok());
+    }
+    auto ckpt = m.sls->Checkpoint(group);
+    EXPECT_TRUE(ckpt.ok());
+    if (ckpt.ok()) {
+      m.sim.clock.AdvanceTo(ckpt->durable_at);
+    }
+  }
+
+  m.Reboot();
+  auto restored = m.sls->Restore("app");
+  EXPECT_TRUE(restored.ok());
+  if (!restored.ok()) {
+    return {};
+  }
+  Process* rp = restored->group->processes[0];
+  std::vector<uint8_t> out(mem_bytes);
+  for (uint64_t off = 0; off < mem_bytes; off += kPageSize) {
+    EXPECT_TRUE(rp->vm().Read(addr + off, out.data() + off, kPageSize).ok());
+  }
+  return out;
+}
+
+TEST(SegmentGc, RetentionPolicyDrivesPruneAndAutoGc) {
+  Machine m;
+  std::vector<uint8_t> heap = RunRetainedWorkload(m, /*retention=*/true, 12);
+  ASSERT_FALSE(heap.empty());
+
+  // History stayed bounded (the directory can exceed keep_epochs only by the
+  // epochs committed since the last prune ran).
+  EXPECT_LE(m.store->ListCheckpoints().size(), 5u);
+  EXPECT_GT(m.sim.metrics.counter("ckpt.retention_pruned").value(), 0u);
+  EXPECT_GT(m.sim.metrics.counter("gc.runs").value(), 0u);
+  // The pass is visible as a span and through the CLI report.
+  EXPECT_FALSE(m.sim.tracer.SpansNamed("gc").empty());
+  SlsCli cli(m.sls.get());
+  auto gc_report = cli.Gc();
+  ASSERT_TRUE(gc_report.ok());
+  ASSERT_FALSE(gc_report->empty());
+  EXPECT_NE((*gc_report)[0].find("segments:"), std::string::npos);
+}
+
+TEST(SegmentGc, AutoGcNeverChangesRestoredImage) {
+  // GC-on vs GC-off: identical workloads, byte-identical restored heaps.
+  Machine gc_on;
+  Machine gc_off;
+  std::vector<uint8_t> with_gc = RunRetainedWorkload(gc_on, /*retention=*/true, 10);
+  std::vector<uint8_t> without_gc = RunRetainedWorkload(gc_off, /*retention=*/false, 10);
+  ASSERT_FALSE(with_gc.empty());
+  EXPECT_EQ(with_gc, without_gc)
+      << "retention + compaction changed what the application restores to";
+  EXPECT_GT(gc_on.sim.metrics.counter("gc.runs").value(), 0u);
+  EXPECT_EQ(gc_off.sim.metrics.counter("gc.runs").value(), 0u)
+      << "auto-GC must not run for groups without a retention policy";
+
+  // Legacy vs segment-log: the layout must be invisible to applications.
+  StoreOptions legacy;
+  legacy.layout = StoreLayout::kLegacy;
+  Machine legacy_machine(legacy);
+  std::vector<uint8_t> legacy_heap = RunRetainedWorkload(legacy_machine, /*retention=*/false, 10);
+  EXPECT_EQ(legacy_heap, without_gc)
+      << "segment-log restored image diverges from the legacy allocator's";
+}
+
+}  // namespace
+}  // namespace aurora

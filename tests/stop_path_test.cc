@@ -249,6 +249,9 @@ TEST(StopPath, CacheInvalidationPerMutatingOp) {
   RichApp app = BuildRichApp(m, 1 * kMiB);
   Process* proc = app.proc;
   int kq_fd = *m.kernel->MakeKqueue(*proc);
+  int sock_fd = *m.kernel->MakeSocket(*proc, SocketDomain::kInet, SocketProto::kTcp);
+  auto [master_fd, slave_fd] = *m.kernel->MakePty(*proc);
+  (void)slave_fd;
   ConsistencyGroup* group = *m.sls->CreateGroup("app");
   ASSERT_TRUE(m.sls->Attach(group, proc).ok());
 
@@ -319,14 +322,50 @@ TEST(StopPath, CacheInvalidationPerMutatingOp) {
   EXPECT_EQ(map.misses, 1u) << "Map must invalidate the process blob via the vm generation";
   EXPECT_EQ(map.stale, 0u);
 
-  // Kqueue registration has no generation hook: the byte-compare safety net
-  // must catch it as stale and recharge it fresh rather than emit old bytes.
+  // Kqueue registration is generation-tracked: a clean miss on the kqueue
+  // blob, never a byte-compare stale.
   auto* kq = static_cast<Kqueue*>((*proc->fds().Get(kq_fd))->object.get());
   kq->Register(KEvent{1, -1, 1, 0, 0, 42});
   run_pass();
   Deltas kqd = take_deltas();
-  EXPECT_EQ(kqd.stale, 1u) << "untracked mutation must be caught by the byte compare";
-  EXPECT_EQ(kqd.misses, 0u);
+  EXPECT_EQ(kqd.misses, 1u) << "Register must invalidate the kqueue blob via its generation";
+  EXPECT_EQ(kqd.stale, 0u) << "a tracked mutation must never reach the byte-compare net";
+
+  // Socket state-machine ops bump the socket generation.
+  auto* sock = static_cast<Socket*>((*proc->fds().Get(sock_fd))->object.get());
+  ASSERT_TRUE(sock->Bind({0x0a000001, 8080, ""}).ok());
+  run_pass();
+  Deltas bind = take_deltas();
+  EXPECT_EQ(bind.misses, 1u) << "Bind must invalidate only the socket blob";
+  EXPECT_EQ(bind.stale, 0u);
+  ASSERT_TRUE(sock->Listen(16).ok());
+  run_pass();
+  Deltas listen = take_deltas();
+  EXPECT_EQ(listen.misses, 1u) << "Listen must invalidate only the socket blob";
+  EXPECT_EQ(listen.stale, 0u);
+
+  // Pseudoterminal ioctl analogues bump the pty generation.
+  auto* pty = static_cast<Pseudoterminal*>((*proc->fds().Get(master_fd))->object.get());
+  pty->SetWinsize(50, 120);
+  run_pass();
+  Deltas winsz = take_deltas();
+  EXPECT_EQ(winsz.misses, 1u) << "SetWinsize must invalidate only the pty blob";
+  EXPECT_EQ(winsz.stale, 0u);
+  pty->WriteInput("ls\n", 3);
+  run_pass();
+  Deltas ptyin = take_deltas();
+  EXPECT_EQ(ptyin.misses, 1u) << "WriteInput must invalidate only the pty blob";
+  EXPECT_EQ(ptyin.stale, 0u);
+
+  // Steady state after every tracked kind has mutated: all hits, and the
+  // byte-compare stale counter never fired across the whole test.
+  run_pass();
+  Deltas steady = take_deltas();
+  EXPECT_EQ(steady.hits, entities);
+  EXPECT_EQ(steady.misses, 0u);
+  EXPECT_EQ(steady.stale, 0u);
+  EXPECT_EQ(m.Counter("ckpt.serialize_cache_stale"), 0u)
+      << "socket/kqueue/pty mutators are generation-tracked; nothing should go stale";
 }
 
 }  // namespace
